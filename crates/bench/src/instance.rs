@@ -1,0 +1,131 @@
+//! Shared "production-like" solve instances for the solver experiments.
+//!
+//! Builds a region plus a reservation portfolio (headline services,
+//! random capacity requests, shared buffers), runs one warm-up solve and
+//! materializes it, and sprinkles container load — so subsequent solves
+//! see the incremental, mostly-stable inputs production sees
+//! (Section 4.1.1 credits the tight latency distribution to "moderate
+//! hardware pool changes between solves").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ras_broker::{ResourceBroker, SimTime};
+use ras_core::buffers;
+use ras_core::reservation::ReservationSpec;
+use ras_core::solver::AsyncSolver;
+use ras_core::SolverParams;
+use ras_topology::{Region, RegionBuilder, RegionTemplate, ServerId};
+use ras_workloads::{RequestGenerator, RequestGeneratorConfig, StandardServices};
+
+/// A ready-to-solve instance.
+pub struct Instance {
+    /// The region.
+    pub region: Region,
+    /// The broker, warmed up with a materialized first solve.
+    pub broker: ResourceBroker,
+    /// Reservation specs (broker-aligned).
+    pub specs: Vec<ReservationSpec>,
+    /// Solver parameters used.
+    pub params: SolverParams,
+}
+
+/// Builds an instance over the given template.
+///
+/// `reservations` counts the guaranteed reservations (headline profiles
+/// first, then generated requests); utilization sets the fraction of
+/// fleet RRUs requested in total.
+pub fn build(template: RegionTemplate, seed: u64, reservations: usize, utilization: f64) -> Instance {
+    let region = RegionBuilder::new(template, seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+    let mut broker = ResourceBroker::new(region.server_count());
+    let total_units = region.server_count() as f64 * utilization;
+
+    // Portfolio: headline profiles get 40 % of demand, generated capacity
+    // requests share the rest.
+    let mut specs: Vec<ReservationSpec> = Vec::new();
+    let headline = [
+        StandardServices::web(),
+        StandardServices::feed1(),
+        StandardServices::feed2(),
+        StandardServices::datastore(),
+    ];
+    let headline_n = headline.len().min(reservations);
+    for p in headline.iter().take(headline_n) {
+        specs.push(p.reservation(&region.catalog, total_units * 0.4 / headline_n as f64));
+    }
+    let mut gen = RequestGenerator::new(RequestGeneratorConfig {
+        seed: seed ^ 0xabcd,
+        ..RequestGeneratorConfig::default()
+    });
+    let rest = reservations.saturating_sub(headline_n);
+    if rest > 0 {
+        let budget = total_units * 0.6 / rest as f64;
+        for i in 0..rest {
+            let req = gen.sample(&region.catalog, SimTime::ZERO);
+            let mut spec = req.to_spec(&region.catalog, format!("svc{i}"));
+            // Rescale to the per-reservation budget so the region fits.
+            spec.capacity = budget.max(4.0).round();
+            specs.push(spec);
+        }
+    }
+    // Shared random-failure buffers (2 %).
+    specs.extend(buffers::shared_buffer_specs(&region, 0.02));
+    for s in &specs {
+        broker.register_reservation(&s.name);
+    }
+
+    // Warm-up solve + materialization, then container load.
+    let params = SolverParams::default();
+    let solver = AsyncSolver::new(params.clone());
+    if let Ok(out) = solver.solve(&region, &specs, &broker.snapshot(SimTime::ZERO)) {
+        let _ = solver.apply(&out, &mut broker);
+        for s in broker.pending_moves() {
+            let t = broker.record(s).map(|r| r.target).unwrap_or(None);
+            let _ = broker.bind_current(s, t);
+        }
+    }
+    for i in 0..region.server_count() {
+        let s = ServerId::from_index(i);
+        let bound = broker.record(s).map(|r| r.current.is_some()).unwrap_or(false);
+        if bound && rng.gen::<f64>() < 0.8 {
+            let _ = broker.set_running_containers(s, rng.gen_range(1..6));
+        }
+    }
+    Instance {
+        region,
+        broker,
+        specs,
+        params,
+    }
+}
+
+/// Applies a small production-like perturbation: resize a few
+/// reservations and fail/recover a few servers.
+pub fn perturb(instance: &mut Instance, round: u64) {
+    let mut rng = StdRng::seed_from_u64(round.wrapping_mul(0x51ab_cd12));
+    // Resize ~10 % of guaranteed reservations by ±10 %.
+    for spec in instance.specs.iter_mut() {
+        if spec.kind == ras_core::reservation::ReservationKind::Guaranteed
+            && rng.gen::<f64>() < 0.1
+        {
+            let factor = 0.9 + rng.gen::<f64>() * 0.2;
+            spec.capacity = (spec.capacity * factor).max(2.0).round();
+        }
+    }
+    // A handful of random failures and recoveries.
+    for _ in 0..3 {
+        let s = ServerId::from_index(rng.gen_range(0..instance.region.server_count()));
+        let up = instance.broker.record(s).map(|r| r.is_up()).unwrap_or(false);
+        if up {
+            let _ = instance.broker.mark_down(ras_broker::UnavailabilityEvent {
+                server: s,
+                kind: ras_broker::UnavailabilityKind::UnplannedHardware,
+                scope: ras_topology::ScopeId::Server(s),
+                start: SimTime::from_hours(round),
+                expected_end: None,
+            });
+        } else {
+            let _ = instance.broker.mark_up(s, SimTime::from_hours(round));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every `figNN_*` binary in `src/bin/` regenerates one table or figure
+//! of the paper's evaluation: it prints the same rows/series the paper
+//! reports and writes a machine-readable copy to
+//! `target/experiments/<id>.json` that EXPERIMENTS.md references.
+
+pub mod instance;
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One experiment's output: an id, a headline, and tabular rows.
+#[derive(Debug, Serialize)]
+pub struct Experiment {
+    /// Figure/table id, e.g. `"fig07"`.
+    pub id: String,
+    /// What the paper's figure shows.
+    pub title: String,
+    /// Claim from the paper this experiment checks, in one line.
+    pub paper_claim: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows (stringified values, column-aligned).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form findings ("measured: ...").
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Creates an experiment shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds one row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Prints the experiment as an aligned table and writes the JSON copy.
+    pub fn finish(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        println!("paper: {}", self.paper_claim);
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([c.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+        let dir = output_dir();
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("written: {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize experiment: {e}"),
+        }
+        println!();
+    }
+}
+
+/// Where experiment JSON lands (`target/experiments` by default,
+/// overridable with `RAS_EXPERIMENT_DIR`).
+pub fn output_dir() -> PathBuf {
+    std::env::var("RAS_EXPERIMENT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"))
+}
+
+/// Percentile of a sorted slice (nearest-rank).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&v, 10.0), 1.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn experiment_rows_validate_columns() {
+        let mut e = Experiment::new("t", "t", "t", &["a", "b"]);
+        e.row(&["1".into(), "2".into()]);
+        assert_eq!(e.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut e = Experiment::new("t", "t", "t", &["a", "b"]);
+        e.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Unavailability events and polled subscription queues.
+//!
+//! The Health Check Service writes unavailability events into the broker;
+//! the Online Mover and the Twine allocator subscribe (paper Figure 6,
+//! step 7). For deterministic simulation the "callback" is modeled as a
+//! per-subscriber queue drained by each component on its own schedule.
+
+use ras_topology::{ScopeId, ServerId};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Classification of an unavailability event (paper Section 2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnavailabilityKind {
+    /// Planned maintenance (server, switch, power device, kernel update).
+    /// Planned events are absorbed by embedded buffers; the solver still
+    /// counts these servers as usable capacity.
+    PlannedMaintenance,
+    /// Unplanned hardware failure (repairs last days to weeks).
+    UnplannedHardware,
+    /// Unplanned software failure (crashes, bad kernels; minutes to hours).
+    UnplannedSoftware,
+    /// Correlated failure of a power/network/cooling device taking out a
+    /// whole scope (power row or MSB).
+    CorrelatedFailure,
+}
+
+impl UnavailabilityKind {
+    /// True for the two unplanned single-server kinds, which the Online
+    /// Mover must replace from the shared buffer within a minute.
+    pub fn is_unplanned(self) -> bool {
+        matches!(
+            self,
+            UnavailabilityKind::UnplannedHardware | UnavailabilityKind::UnplannedSoftware
+        )
+    }
+}
+
+/// One unavailability event affecting one server.
+///
+/// Correlated failures are fanned out into one event per member server,
+/// all carrying the failing [`ScopeId`] so subscribers can recognize the
+/// common cause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnavailabilityEvent {
+    /// The affected server.
+    pub server: ServerId,
+    /// Event class.
+    pub kind: UnavailabilityKind,
+    /// The failing fault domain (equals `Server(server)` for random
+    /// failures, the row/MSB for correlated ones).
+    pub scope: ScopeId,
+    /// When the event started.
+    pub start: SimTime,
+    /// Expected end, when known (planned maintenance always knows it).
+    pub expected_end: Option<SimTime>,
+}
+
+/// Handle identifying a subscriber's event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubscriberId(pub u32);
+
+/// A change notice delivered to subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventNotice {
+    /// A server became unavailable.
+    Down(UnavailabilityEvent),
+    /// A server recovered (event cleared).
+    Recovered {
+        /// The recovered server.
+        server: ServerId,
+        /// When it recovered.
+        at: SimTime,
+    },
+}
+
+/// Per-subscriber FIFO queues of event notices.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    queues: Vec<Vec<EventNotice>>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new subscriber and returns its handle.
+    pub fn subscribe(&mut self) -> SubscriberId {
+        self.queues.push(Vec::new());
+        SubscriberId((self.queues.len() - 1) as u32)
+    }
+
+    /// Publishes a notice to every subscriber.
+    pub fn publish(&mut self, notice: EventNotice) {
+        for q in &mut self.queues {
+            q.push(notice);
+        }
+    }
+
+    /// Drains all pending notices for one subscriber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscriber handle was not issued by this queue.
+    pub fn drain(&mut self, subscriber: SubscriberId) -> Vec<EventNotice> {
+        std::mem::take(&mut self.queues[subscriber.0 as usize])
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_topology::MsbId;
+
+    fn event() -> UnavailabilityEvent {
+        UnavailabilityEvent {
+            server: ServerId(3),
+            kind: UnavailabilityKind::CorrelatedFailure,
+            scope: ScopeId::Msb(MsbId(1)),
+            start: SimTime::from_hours(5),
+            expected_end: None,
+        }
+    }
+
+    #[test]
+    fn publish_reaches_every_subscriber() {
+        let mut q = EventQueue::new();
+        let a = q.subscribe();
+        let b = q.subscribe();
+        q.publish(EventNotice::Down(event()));
+        assert_eq!(q.drain(a).len(), 1);
+        assert_eq!(q.drain(b).len(), 1);
+        assert!(q.drain(a).is_empty(), "drain must consume");
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_notices() {
+        let mut q = EventQueue::new();
+        let a = q.subscribe();
+        q.publish(EventNotice::Down(event()));
+        let late = q.subscribe();
+        assert_eq!(q.drain(a).len(), 1);
+        assert!(q.drain(late).is_empty());
+    }
+
+    #[test]
+    fn unplanned_classification() {
+        assert!(UnavailabilityKind::UnplannedHardware.is_unplanned());
+        assert!(!UnavailabilityKind::PlannedMaintenance.is_unplanned());
+        assert!(!UnavailabilityKind::CorrelatedFailure.is_unplanned());
+    }
+}

@@ -1,0 +1,348 @@
+//! The broker store: versioned records plus the subscription fan-out.
+
+use ras_topology::ServerId;
+use serde::{Deserialize, Serialize};
+
+use crate::events::{EventNotice, EventQueue, SubscriberId, UnavailabilityEvent};
+use crate::record::{ReservationId, ServerRecord};
+use crate::time::SimTime;
+
+/// Errors returned by broker writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The server identifier is not registered.
+    UnknownServer(ServerId),
+    /// A compare-and-set failed because the record moved on.
+    VersionConflict {
+        /// The server whose write failed.
+        server: ServerId,
+        /// Version the caller expected.
+        expected: u64,
+        /// Version actually stored.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            BrokerError::VersionConflict {
+                server,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version conflict on {server}: expected {expected}, found {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A point-in-time copy of every record, consumed by the Async Solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    /// When the snapshot was taken.
+    pub taken_at: SimTime,
+    /// Records indexed by [`ServerId::index`].
+    pub records: Vec<ServerRecord>,
+}
+
+impl BrokerSnapshot {
+    /// Record for one server.
+    pub fn record(&self, server: ServerId) -> &ServerRecord {
+        &self.records[server.index()]
+    }
+}
+
+/// The region's server-state store (paper Figure 6, bottom).
+#[derive(Debug, Default)]
+pub struct ResourceBroker {
+    records: Vec<ServerRecord>,
+    reservation_names: Vec<String>,
+    events: EventQueue,
+}
+
+impl ResourceBroker {
+    /// Creates a broker tracking `server_count` servers, all unassigned.
+    pub fn new(server_count: usize) -> Self {
+        Self {
+            records: vec![ServerRecord::default(); server_count],
+            reservation_names: Vec::new(),
+            events: EventQueue::new(),
+        }
+    }
+
+    /// Registers a reservation name, returning its identifier.
+    pub fn register_reservation(&mut self, name: impl Into<String>) -> ReservationId {
+        self.reservation_names.push(name.into());
+        ReservationId::from_index(self.reservation_names.len() - 1)
+    }
+
+    /// Name of a reservation.
+    pub fn reservation_name(&self, id: ReservationId) -> &str {
+        &self.reservation_names[id.index()]
+    }
+
+    /// Number of registered reservations.
+    pub fn reservation_count(&self) -> usize {
+        self.reservation_names.len()
+    }
+
+    /// Number of tracked servers.
+    pub fn server_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Read one record.
+    pub fn record(&self, server: ServerId) -> Result<&ServerRecord, BrokerError> {
+        self.records
+            .get(server.index())
+            .ok_or(BrokerError::UnknownServer(server))
+    }
+
+    fn record_mut(&mut self, server: ServerId) -> Result<&mut ServerRecord, BrokerError> {
+        self.records
+            .get_mut(server.index())
+            .ok_or(BrokerError::UnknownServer(server))
+    }
+
+    /// Writes the solver's target for one server (unconditional).
+    pub fn set_target(
+        &mut self,
+        server: ServerId,
+        target: Option<ReservationId>,
+    ) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        r.target = target;
+        r.version += 1;
+        Ok(())
+    }
+
+    /// Compare-and-set write of the target, used by the emergency
+    /// out-of-band path so it cannot clobber a concurrent solve result.
+    pub fn cas_target(
+        &mut self,
+        server: ServerId,
+        expected_version: u64,
+        target: Option<ReservationId>,
+    ) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        if r.version != expected_version {
+            return Err(BrokerError::VersionConflict {
+                server,
+                expected: expected_version,
+                actual: r.version,
+            });
+        }
+        r.target = target;
+        r.version += 1;
+        Ok(())
+    }
+
+    /// Materializes a binding: the Online Mover sets `current` after the
+    /// preempt/cleanup/reconfigure sequence completes.
+    pub fn bind_current(
+        &mut self,
+        server: ServerId,
+        current: Option<ReservationId>,
+    ) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        r.current = current;
+        // Any rebinding also cancels an elastic loan.
+        r.elastic = None;
+        r.version += 1;
+        Ok(())
+    }
+
+    /// Loans an idle server to an elastic reservation.
+    pub fn set_elastic(
+        &mut self,
+        server: ServerId,
+        elastic: Option<ReservationId>,
+    ) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        r.elastic = elastic;
+        r.version += 1;
+        Ok(())
+    }
+
+    /// Updates the container count reported by the Twine allocator.
+    pub fn set_running_containers(&mut self, server: ServerId, n: u32) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        r.running_containers = n;
+        r.version += 1;
+        Ok(())
+    }
+
+    /// Health Check Service: marks a server down and notifies subscribers.
+    pub fn mark_down(&mut self, event: UnavailabilityEvent) -> Result<(), BrokerError> {
+        let r = self.record_mut(event.server)?;
+        r.unavailability = Some(event);
+        r.version += 1;
+        self.events.publish(EventNotice::Down(event));
+        Ok(())
+    }
+
+    /// Health Check Service: clears a server's unavailability.
+    pub fn mark_up(&mut self, server: ServerId, at: SimTime) -> Result<(), BrokerError> {
+        let r = self.record_mut(server)?;
+        if r.unavailability.take().is_some() {
+            r.version += 1;
+            self.events.publish(EventNotice::Recovered { server, at });
+        }
+        Ok(())
+    }
+
+    /// Registers an event subscriber (Mover, Twine).
+    pub fn subscribe(&mut self) -> SubscriberId {
+        self.events.subscribe()
+    }
+
+    /// Drains pending notices for one subscriber.
+    pub fn drain_events(&mut self, subscriber: SubscriberId) -> Vec<EventNotice> {
+        self.events.drain(subscriber)
+    }
+
+    /// Takes a consistent snapshot for the Async Solver.
+    pub fn snapshot(&self, at: SimTime) -> BrokerSnapshot {
+        BrokerSnapshot {
+            taken_at: at,
+            records: self.records.clone(),
+        }
+    }
+
+    /// Servers whose target differs from their current binding — the
+    /// Online Mover's work queue.
+    pub fn pending_moves(&self) -> Vec<ServerId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.target != r.current)
+            .map(|(i, _)| ServerId::from_index(i))
+            .collect()
+    }
+
+    /// Servers currently bound to a reservation.
+    pub fn members_of(&self, reservation: ReservationId) -> Vec<ServerId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.current == Some(reservation))
+            .map(|(i, _)| ServerId::from_index(i))
+            .collect()
+    }
+
+    /// Count of servers currently bound to a reservation.
+    pub fn member_count(&self, reservation: ReservationId) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.current == Some(reservation))
+            .count()
+    }
+
+    /// Iterates `(server, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &ServerRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ServerId::from_index(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::UnavailabilityKind;
+    use ras_topology::ScopeId;
+
+    fn broker() -> ResourceBroker {
+        ResourceBroker::new(4)
+    }
+
+    #[test]
+    fn set_and_read_target() {
+        let mut b = broker();
+        let r = b.register_reservation("web");
+        b.set_target(ServerId(1), Some(r)).unwrap();
+        assert_eq!(b.record(ServerId(1)).unwrap().target, Some(r));
+        assert_eq!(b.record(ServerId(0)).unwrap().target, None);
+    }
+
+    #[test]
+    fn unknown_server_rejected() {
+        let mut b = broker();
+        assert!(matches!(
+            b.set_target(ServerId(99), None),
+            Err(BrokerError::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn cas_succeeds_then_conflicts() {
+        let mut b = broker();
+        let r = b.register_reservation("web");
+        let v = b.record(ServerId(0)).unwrap().version;
+        b.cas_target(ServerId(0), v, Some(r)).unwrap();
+        let err = b.cas_target(ServerId(0), v, None).unwrap_err();
+        assert!(matches!(err, BrokerError::VersionConflict { .. }));
+    }
+
+    #[test]
+    fn pending_moves_tracks_divergence() {
+        let mut b = broker();
+        let r = b.register_reservation("web");
+        b.set_target(ServerId(2), Some(r)).unwrap();
+        assert_eq!(b.pending_moves(), vec![ServerId(2)]);
+        b.bind_current(ServerId(2), Some(r)).unwrap();
+        assert!(b.pending_moves().is_empty());
+        assert_eq!(b.members_of(r), vec![ServerId(2)]);
+        assert_eq!(b.member_count(r), 1);
+    }
+
+    #[test]
+    fn binding_cancels_elastic_loan() {
+        let mut b = broker();
+        let guaranteed = b.register_reservation("web");
+        let elastic = b.register_reservation("elastic");
+        b.set_elastic(ServerId(0), Some(elastic)).unwrap();
+        assert_eq!(b.record(ServerId(0)).unwrap().elastic, Some(elastic));
+        b.bind_current(ServerId(0), Some(guaranteed)).unwrap();
+        assert_eq!(b.record(ServerId(0)).unwrap().elastic, None);
+    }
+
+    #[test]
+    fn down_and_up_publish_notices() {
+        let mut b = broker();
+        let sub = b.subscribe();
+        let event = UnavailabilityEvent {
+            server: ServerId(1),
+            kind: UnavailabilityKind::UnplannedHardware,
+            scope: ScopeId::Server(ServerId(1)),
+            start: SimTime::from_hours(1),
+            expected_end: None,
+        };
+        b.mark_down(event).unwrap();
+        assert!(!b.record(ServerId(1)).unwrap().is_up());
+        b.mark_up(ServerId(1), SimTime::from_hours(2)).unwrap();
+        assert!(b.record(ServerId(1)).unwrap().is_up());
+        let notices = b.drain_events(sub);
+        assert_eq!(notices.len(), 2);
+        // Marking an already-up server up again publishes nothing.
+        b.mark_up(ServerId(1), SimTime::from_hours(3)).unwrap();
+        assert!(b.drain_events(sub).is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_a_stable_copy() {
+        let mut b = broker();
+        let r = b.register_reservation("web");
+        b.set_target(ServerId(0), Some(r)).unwrap();
+        let snap = b.snapshot(SimTime::from_hours(1));
+        b.set_target(ServerId(0), None).unwrap();
+        assert_eq!(snap.record(ServerId(0)).target, Some(r));
+        assert_eq!(snap.taken_at, SimTime::from_hours(1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the Resource Broker: version monotonicity,
+//! CAS linearizability under random operation sequences, snapshot
+//! isolation, and event-delivery completeness.
+
+use proptest::prelude::*;
+use ras_broker::{
+    EventNotice, ReservationId, ResourceBroker, SimTime, UnavailabilityEvent, UnavailabilityKind,
+};
+use ras_topology::{ScopeId, ServerId};
+
+/// A random broker operation.
+#[derive(Debug, Clone)]
+enum Op {
+    SetTarget(u32, Option<u32>),
+    Bind(u32, Option<u32>),
+    SetElastic(u32, Option<u32>),
+    Containers(u32, u32),
+    Down(u32),
+    Up(u32),
+}
+
+fn arb_op(servers: u32, reservations: u32) -> impl Strategy<Value = Op> {
+    let s = 0..servers;
+    let r = prop::option::of(0..reservations);
+    prop_oneof![
+        (s.clone(), r.clone()).prop_map(|(s, r)| Op::SetTarget(s, r)),
+        (s.clone(), r.clone()).prop_map(|(s, r)| Op::Bind(s, r)),
+        (s.clone(), r).prop_map(|(s, r)| Op::SetElastic(s, r)),
+        (s.clone(), 0u32..5).prop_map(|(s, c)| Op::Containers(s, c)),
+        s.clone().prop_map(Op::Down),
+        s.prop_map(Op::Up),
+    ]
+}
+
+const N: u32 = 12;
+
+fn apply(broker: &mut ResourceBroker, op: &Op, t: u64) {
+    match op {
+        Op::SetTarget(s, r) => {
+            let _ = broker.set_target(ServerId(*s), r.map(ReservationId));
+        }
+        Op::Bind(s, r) => {
+            let _ = broker.bind_current(ServerId(*s), r.map(ReservationId));
+        }
+        Op::SetElastic(s, r) => {
+            let _ = broker.set_elastic(ServerId(*s), r.map(ReservationId));
+        }
+        Op::Containers(s, c) => {
+            let _ = broker.set_running_containers(ServerId(*s), *c);
+        }
+        Op::Down(s) => {
+            let _ = broker.mark_down(UnavailabilityEvent {
+                server: ServerId(*s),
+                kind: UnavailabilityKind::UnplannedHardware,
+                scope: ScopeId::Server(ServerId(*s)),
+                start: SimTime(t),
+                expected_end: None,
+            });
+        }
+        Op::Up(s) => {
+            let _ = broker.mark_up(ServerId(*s), SimTime(t));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn versions_are_monotonic(ops in prop::collection::vec(arb_op(N, 3), 1..60)) {
+        let mut broker = ResourceBroker::new(N as usize);
+        for _ in 0..3 {
+            broker.register_reservation("r");
+        }
+        let mut last_versions = vec![0u64; N as usize];
+        for (t, op) in ops.iter().enumerate() {
+            apply(&mut broker, op, t as u64);
+            for s in 0..N {
+                let v = broker.record(ServerId(s)).unwrap().version;
+                prop_assert!(v >= last_versions[s as usize], "version went backwards");
+                last_versions[s as usize] = v;
+            }
+        }
+    }
+
+    #[test]
+    fn cas_only_succeeds_on_matching_version(
+        ops in prop::collection::vec(arb_op(N, 3), 1..40),
+        cas_at in 0usize..40,
+    ) {
+        let mut broker = ResourceBroker::new(N as usize);
+        for _ in 0..3 {
+            broker.register_reservation("r");
+        }
+        let mut stale: Option<(ServerId, u64)> = None;
+        for (t, op) in ops.iter().enumerate() {
+            if t == cas_at {
+                stale = Some((ServerId(0), broker.record(ServerId(0)).unwrap().version));
+            }
+            apply(&mut broker, op, t as u64);
+        }
+        if let Some((s, v)) = stale {
+            let now = broker.record(s).unwrap().version;
+            let result = broker.cas_target(s, v, Some(ReservationId(1)));
+            if now == v {
+                prop_assert!(result.is_ok());
+            } else {
+                prop_assert!(result.is_err(), "stale CAS must fail ({v} vs {now})");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_isolated(ops in prop::collection::vec(arb_op(N, 3), 1..40)) {
+        let mut broker = ResourceBroker::new(N as usize);
+        for _ in 0..3 {
+            broker.register_reservation("r");
+        }
+        let mid = ops.len() / 2;
+        for (t, op) in ops[..mid].iter().enumerate() {
+            apply(&mut broker, op, t as u64);
+        }
+        let snapshot = broker.snapshot(SimTime(mid as u64));
+        let frozen: Vec<_> = snapshot.records.clone();
+        for (t, op) in ops[mid..].iter().enumerate() {
+            apply(&mut broker, op, (mid + t) as u64);
+        }
+        // The snapshot must not have observed post-snapshot writes.
+        for (a, b) in snapshot.records.iter().zip(&frozen) {
+            prop_assert_eq!(a.version, b.version);
+            prop_assert_eq!(a.current, b.current);
+        }
+    }
+
+    #[test]
+    fn every_down_up_pair_is_delivered(ops in prop::collection::vec(arb_op(N, 3), 1..60)) {
+        let mut broker = ResourceBroker::new(N as usize);
+        for _ in 0..3 {
+            broker.register_reservation("r");
+        }
+        let sub = broker.subscribe();
+        let mut expected = 0usize;
+        for (t, op) in ops.iter().enumerate() {
+            let was_up = match op {
+                Op::Down(s) => broker.record(ServerId(*s)).unwrap().is_up(),
+                Op::Up(s) => !broker.record(ServerId(*s)).unwrap().is_up(),
+                _ => false,
+            };
+            apply(&mut broker, op, t as u64);
+            match op {
+                // mark_down always publishes; mark_up only on transition.
+                Op::Down(_) => expected += 1,
+                Op::Up(_) if was_up => expected += 1,
+                _ => {}
+            }
+        }
+        let notices = broker.drain_events(sub);
+        prop_assert_eq!(notices.len(), expected);
+        // Down notices carry the event payload.
+        for n in notices {
+            match n {
+                EventNotice::Down(e) => prop_assert!(e.server.0 < N),
+                EventNotice::Recovered { server, .. } => prop_assert!(server.0 < N),
+            }
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! Best-bound branch-and-bound over the simplex LP relaxation.
+//!
+//! This is the exact backend the RAS Async Solver uses. It mirrors the
+//! production behaviours the paper measures: a hard wall-clock timeout
+//! that can stop the search with a feasible-but-unproven incumbent, and a
+//! reported *gap* against the best proven bound (Figure 9 plots exactly
+//! that gap).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::branching::PseudoCosts;
+use crate::model::{Model, VarType};
+use crate::simplex::{solve_lp, solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
+use crate::solution::{SolveConfig, SolveError, SolveStats, Solution, Status};
+use crate::standard::StandardForm;
+
+/// Branch-and-bound MIP solver.
+#[derive(Debug, Clone)]
+pub struct BranchAndBound {
+    config: SolveConfig,
+}
+
+struct Node {
+    /// Lower bounds for every column (structural + slack).
+    lower: Vec<f64>,
+    /// Upper bounds for every column.
+    upper: Vec<f64>,
+    /// Depth in the tree, used to break bound ties depth-first.
+    depth: usize,
+    /// Parent's optimal basis, used to warm-start this node's LP.
+    warm: Option<Rc<Basis>>,
+    /// How this node was created: `(variable, went_up, fractional part)`
+    /// — used to update pseudo-costs once the node's LP solves.
+    branch: Option<(usize, bool, f64)>,
+    /// The parent LP objective (pseudo-cost degradation baseline).
+    parent_bound: f64,
+}
+
+/// Max-heap entry ordered so that the *smallest* bound pops first.
+struct HeapEntry {
+    bound: f64,
+    depth: usize,
+    index: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on bound (min-heap); deeper first on ties (dive).
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+impl BranchAndBound {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolveConfig) -> Self {
+        Self { config }
+    }
+
+    /// Solves the model.
+    pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
+        let start = Instant::now();
+        let sf = StandardForm::from_model(model);
+        let setup_seconds = start.elapsed().as_secs_f64();
+        let int_vars: Vec<usize> = model
+            .vars()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.ty != VarType::Continuous)
+            .map(|(i, _)| i)
+            .collect();
+        let lp_config = SimplexConfig {
+            max_iterations: self.config.max_lp_iterations,
+            deadline: Some(
+                start + std::time::Duration::from_secs_f64(self.config.time_limit_seconds),
+            ),
+            ..SimplexConfig::default()
+        };
+
+        // Presolve: tighten variable bounds by interval propagation and
+        // catch plain infeasibility before any simplex work.
+        let tightened = match crate::presolve::tighten(model) {
+            Ok(t) => t,
+            Err(crate::presolve::PresolveError::Infeasible) => {
+                return Err(SolveError::Infeasible)
+            }
+        };
+        let mut root_lower = sf.lower.clone();
+        let mut root_upper = sf.upper.clone();
+        root_lower[..model.num_vars()].copy_from_slice(&tightened.lower);
+        root_upper[..model.num_vars()].copy_from_slice(&tightened.upper);
+        for &j in &int_vars {
+            if root_lower[j] > root_upper[j] {
+                return Err(SolveError::Infeasible);
+            }
+        }
+
+        let mut stats = SolveStats {
+            setup_seconds,
+            ..SolveStats::default()
+        };
+        let root_start = Instant::now();
+        let root = solve_lp(&sf, &root_lower, &root_upper, &lp_config);
+        stats.root_lp_seconds = root_start.elapsed().as_secs_f64();
+        stats.simplex_iterations += root.iterations;
+        match root.status {
+            LpStatus::Infeasible => return Err(SolveError::Infeasible),
+            LpStatus::Unbounded => return Err(SolveError::Unbounded),
+            LpStatus::IterationLimit | LpStatus::Optimal => {}
+        }
+
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        if let Some(init) = &self.config.initial_incumbent {
+            if init.len() == model.num_vars() && model.violations(init, 1e-6).is_empty() {
+                let mut values = init.clone();
+                for &j in &int_vars {
+                    values[j] = values[j].round();
+                }
+                let obj = model.objective().eval(&values);
+                incumbent = Some((obj, values));
+            }
+        }
+        if let Some(frac) = self.most_fractional(&root.values, &int_vars) {
+            // Try the rounding/diving heuristic for an early incumbent.
+            if self.config.use_heuristics {
+                if let Some((obj, values)) = self.dive(
+                    model,
+                    &sf,
+                    &root_lower,
+                    &root_upper,
+                    &root,
+                    &int_vars,
+                    &lp_config,
+                    &mut stats,
+                    start,
+                ) {
+                    if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
+                        incumbent = Some((obj, values));
+                    }
+                }
+            }
+            let _ = frac;
+        } else {
+            // Root relaxation is already integral.
+            let (obj, values) = self.snap(model, &root, &int_vars);
+            stats.best_bound = obj;
+            stats.nodes = 1;
+            stats.solve_seconds = start.elapsed().as_secs_f64();
+            return Ok(Solution {
+                status: Status::Optimal,
+                objective: obj,
+                values,
+                stats,
+            });
+        }
+
+        // Best-bound search.
+        let root_basis = root.basis.clone().map(Rc::new);
+        let mut pseudo = PseudoCosts::new(model.num_vars());
+        let mut nodes: Vec<Node> = vec![Node {
+            lower: root_lower,
+            upper: root_upper,
+            depth: 0,
+            warm: root_basis,
+            branch: None,
+            parent_bound: root.objective,
+        }];
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            bound: root.objective,
+            depth: 0,
+            index: 0,
+        });
+        let mut best_open_bound = root.objective;
+        let mut hit_limit = false;
+        let mut stall_nodes = 0usize;
+        let mut last_bound = f64::NEG_INFINITY;
+
+        while let Some(entry) = heap.pop() {
+            best_open_bound = entry.bound;
+            if start.elapsed().as_secs_f64() > self.config.time_limit_seconds
+                || stats.nodes >= self.config.max_nodes
+            {
+                hit_limit = true;
+                break;
+            }
+            if self.config.stall_node_limit > 0 && incumbent.is_some() {
+                if entry.bound > last_bound + self.config.abs_gap_tol.max(1e-9) {
+                    last_bound = entry.bound;
+                    stall_nodes = 0;
+                } else {
+                    stall_nodes += 1;
+                    if stall_nodes >= self.config.stall_node_limit {
+                        hit_limit = true;
+                        break;
+                    }
+                }
+            }
+            if let Some((inc_obj, _)) = &incumbent {
+                if entry.bound >= inc_obj - self.config.abs_gap_tol {
+                    // All remaining nodes have bounds at least this large.
+                    best_open_bound = *inc_obj;
+                    heap.clear();
+                    break;
+                }
+            }
+            let node = &nodes[entry.index];
+            let lp = solve_lp_warm(
+                &sf,
+                &node.lower,
+                &node.upper,
+                &lp_config,
+                node.warm.as_deref(),
+            );
+            stats.nodes += 1;
+            stats.simplex_iterations += lp.iterations;
+            match lp.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => return Err(SolveError::Unbounded),
+                LpStatus::IterationLimit => {
+                    hit_limit = true;
+                    continue;
+                }
+                LpStatus::Optimal => {}
+            }
+            // Pseudo-cost learning: the degradation this branch caused.
+            if let Some((var, went_up, frac)) = nodes[entry.index].branch {
+                pseudo.record(
+                    var,
+                    went_up,
+                    frac,
+                    lp.objective - nodes[entry.index].parent_bound,
+                );
+            }
+            if let Some((inc_obj, _)) = &incumbent {
+                if lp.objective >= inc_obj - self.config.abs_gap_tol {
+                    continue;
+                }
+            }
+            // Periodic diving: every 256 nodes, try to round this node's
+            // LP into a better incumbent (cheap thanks to warm starts).
+            if self.config.use_heuristics && stats.nodes.is_multiple_of(256) {
+                if let Some((obj, values)) = self.dive(
+                    model,
+                    &sf,
+                    &node.lower.clone(),
+                    &node.upper.clone(),
+                    &lp,
+                    &int_vars,
+                    &lp_config,
+                    &mut stats,
+                    start,
+                ) {
+                    if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
+                        incumbent = Some((obj, values));
+                    }
+                }
+            }
+            let node = &nodes[entry.index];
+            match crate::branching::select(&lp.values, &int_vars, self.config.int_tol, &pseudo)
+            {
+                None => {
+                    let (obj, values) = self.snap(model, &lp, &int_vars);
+                    if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
+                        incumbent = Some((obj, values));
+                    }
+                }
+                Some(branch_var) => {
+                    let value = lp.values[branch_var];
+                    let frac = value - value.floor();
+                    let depth = node.depth + 1;
+                    let child_warm = lp.basis.clone().map(Rc::new);
+                    let (node_lower, node_upper) = (node.lower.clone(), node.upper.clone());
+                    // Down child: x <= floor(value).
+                    let mut down_upper = node_upper.clone();
+                    down_upper[branch_var] = value.floor();
+                    if node_lower[branch_var] <= down_upper[branch_var] {
+                        nodes.push(Node {
+                            lower: node_lower.clone(),
+                            upper: down_upper,
+                            depth,
+                            warm: child_warm.clone(),
+                            branch: Some((branch_var, false, frac)),
+                            parent_bound: lp.objective,
+                        });
+                        heap.push(HeapEntry {
+                            bound: lp.objective,
+                            depth,
+                            index: nodes.len() - 1,
+                        });
+                    }
+                    // Up child: x >= ceil(value).
+                    let mut up_lower = node_lower;
+                    up_lower[branch_var] = value.ceil();
+                    if up_lower[branch_var] <= node_upper[branch_var] {
+                        nodes.push(Node {
+                            lower: up_lower,
+                            upper: node_upper,
+                            depth,
+                            warm: child_warm,
+                            branch: Some((branch_var, true, frac)),
+                            parent_bound: lp.objective,
+                        });
+                        heap.push(HeapEntry {
+                            bound: lp.objective,
+                            depth,
+                            index: nodes.len() - 1,
+                        });
+                    }
+                }
+            }
+        }
+
+        stats.solve_seconds = start.elapsed().as_secs_f64();
+        stats.mip_seconds =
+            (stats.solve_seconds - stats.setup_seconds - stats.root_lp_seconds).max(0.0);
+        stats.hit_limit = hit_limit;
+        let open_bound = heap
+            .iter()
+            .map(|e| e.bound)
+            .fold(f64::INFINITY, f64::min)
+            .min(best_open_bound);
+        match incumbent {
+            Some((obj, values)) => {
+                stats.best_bound = if heap.is_empty() && !hit_limit {
+                    obj
+                } else {
+                    open_bound.min(obj)
+                };
+                stats.absolute_gap = (obj - stats.best_bound).max(0.0);
+                stats.gap = stats.absolute_gap / obj.abs().max(1.0);
+                let status = if stats.absolute_gap <= self.config.abs_gap_tol
+                    || stats.gap <= self.config.rel_gap_tol
+                {
+                    Status::Optimal
+                } else {
+                    Status::Feasible
+                };
+                Ok(Solution {
+                    status,
+                    objective: obj,
+                    values,
+                    stats,
+                })
+            }
+            None if hit_limit => Err(SolveError::NoIncumbent),
+            None => Err(SolveError::Infeasible),
+        }
+    }
+
+    /// Returns the integer variable with the most fractional LP value.
+    fn most_fractional(&self, values: &[f64], int_vars: &[usize]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for &j in int_vars {
+            let v = values[j];
+            let frac = (v - v.round()).abs();
+            if frac > self.config.int_tol {
+                let dist = (v - v.floor() - 0.5).abs(); // 0 = most fractional
+                match best {
+                    Some((_, bd)) if dist >= bd => {}
+                    _ => best = Some((j, dist)),
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Snaps integer values and recomputes the objective.
+    fn snap(&self, model: &Model, lp: &LpResult, int_vars: &[usize]) -> (f64, Vec<f64>) {
+        let mut values = lp.values[..model.num_vars()].to_vec();
+        for &j in int_vars {
+            values[j] = values[j].round();
+        }
+        let obj = model.objective().eval(&values);
+        (obj, values)
+    }
+
+    /// Iterated rounding/diving heuristic: repeatedly fix near-integral
+    /// variables and re-solve, hoping to land on a feasible integral point.
+    #[allow(clippy::too_many_arguments)]
+    fn dive(
+        &self,
+        model: &Model,
+        sf: &StandardForm,
+        root_lower: &[f64],
+        root_upper: &[f64],
+        root: &LpResult,
+        int_vars: &[usize],
+        lp_config: &SimplexConfig,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) -> Option<(f64, Vec<f64>)> {
+        let mut lower = root_lower.to_vec();
+        let mut upper = root_upper.to_vec();
+        let mut current = root.clone();
+        let mut warm = root.basis.clone();
+        // Every round fixes at least one more integer, so a full sweep
+        // needs at most one round per integer variable.
+        let max_rounds = int_vars.len().max(64);
+        for _round in 0..max_rounds {
+            if start.elapsed().as_secs_f64() > self.config.time_limit_seconds * 0.5 {
+                return None;
+            }
+            match self.most_fractional(&current.values, int_vars) {
+                None => {
+                    let (obj, values) = self.snap(model, &current, int_vars);
+                    if model.violations(&values, 1e-5).is_empty() {
+                        return Some((obj, values));
+                    }
+                    return None;
+                }
+                Some(_) => {
+                    // Fix every var that is already (nearly) integral, plus
+                    // round the least fractional remaining one.
+                    let mut least: Option<(usize, f64)> = None;
+                    for &j in int_vars {
+                        let v = current.values[j];
+                        let frac = (v - v.round()).abs();
+                        if frac <= self.config.int_tol {
+                            lower[j] = v.round();
+                            upper[j] = v.round();
+                        } else {
+                            match least {
+                                Some((_, bf)) if frac >= bf => {}
+                                _ => least = Some((j, frac)),
+                            }
+                        }
+                    }
+                    let fixed = least.map(|(j, _)| {
+                        let v = current.values[j].round().clamp(root_lower[j], root_upper[j]);
+                        lower[j] = v;
+                        upper[j] = v;
+                        (j, v)
+                    });
+                    let mut lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
+                    stats.simplex_iterations += lp.iterations;
+                    if lp.status != LpStatus::Optimal {
+                        // Rounding to nearest may have cut off feasibility;
+                        // retry the opposite rounding direction once.
+                        let (j, v) = fixed?;
+                        let frac = current.values[j];
+                        let other = if v >= frac { frac.floor() } else { frac.ceil() };
+                        let other = other.clamp(root_lower[j], root_upper[j]);
+                        if other == v {
+                            return None;
+                        }
+                        lower[j] = other;
+                        upper[j] = other;
+                        lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
+                        stats.simplex_iterations += lp.iterations;
+                        if lp.status != LpStatus::Optimal {
+                            return None;
+                        }
+                    }
+                    warm = lp.basis.clone();
+                    current = lp;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Sense;
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c, weights 3,4,2, cap 6 → best is a+c = 17? or b+c = 20.
+        let mut m = Model::new();
+        let a = m.add_var("a", VarType::Binary, 0.0, 1.0);
+        let b = m.add_var("b", VarType::Binary, 0.0, 1.0);
+        let c = m.add_var("c", VarType::Binary, 0.0, 1.0);
+        m.add_constraint("w", 3.0 * a + 4.0 * b + 2.0 * c, Sense::Le, 6.0);
+        m.set_objective(-10.0 * a - 13.0 * b - 7.0 * c);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round(), -20.0);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x s.t. 2x <= 7, x integer → 3 (LP gives 3.5).
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 100.0);
+        m.add_constraint("c", 2.0 * x, Sense::Le, 7.0);
+        m.set_objective(-1.0 * x);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(x), 3);
+    }
+
+    #[test]
+    fn assignment_problem_integral() {
+        // 3x3 assignment, cost matrix with known optimum 1+2+3 on diagonal-ish.
+        let costs = [[1.0, 5.0, 9.0], [6.0, 2.0, 8.0], [7.0, 4.0, 3.0]];
+        let mut m = Model::new();
+        let mut x = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                x.push(m.add_var(format!("x{i}{j}"), VarType::Binary, 0.0, 1.0));
+            }
+        }
+        for i in 0..3 {
+            m.add_constraint(
+                format!("row{i}"),
+                LinExpr::sum((0..3).map(|j| (x[i * 3 + j], 1.0))),
+                Sense::Eq,
+                1.0,
+            );
+            m.add_constraint(
+                format!("col{i}"),
+                LinExpr::sum((0..3).map(|j| (x[j * 3 + i], 1.0))),
+                Sense::Eq,
+                1.0,
+            );
+        }
+        let mut obj = LinExpr::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj += LinExpr::term(x[i * 3 + j], costs[i][j]);
+            }
+        }
+        m.set_objective(obj);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round(), 6.0);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("a", 2.0 * x, Sense::Eq, 5.0);
+        assert!(matches!(m.solve(), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn fractional_equality_infeasible_for_integers() {
+        // x + y = 2.5 with x, y integer → infeasible.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("s", 1.0 * x + 1.0 * y, Sense::Eq, 2.5);
+        assert!(matches!(m.solve(), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 3x + 2y, x integer >= 1.2 → 2, y >= 0.3 continuous.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("cx", LinExpr::from(x), Sense::Ge, 1.2);
+        m.add_constraint("cy", LinExpr::from(y), Sense::Ge, 0.3);
+        m.set_objective(3.0 * x + 2.0 * y);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(x), 2);
+        assert!((s.value(y) - 0.3).abs() < 1e-6);
+        assert!((s.objective - 6.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_knapsack_needs_search() {
+        // Find integers with 7a + 5b + 3c = 20, minimize a + b + c → a=1,b=2,c=1 (4)
+        // or a=2,b=0,c=2 (4)... check optimum value 4.
+        let mut m = Model::new();
+        let a = m.add_var("a", VarType::Integer, 0.0, 10.0);
+        let b = m.add_var("b", VarType::Integer, 0.0, 10.0);
+        let c = m.add_var("c", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("sum", 7.0 * a + 5.0 * b + 3.0 * c, Sense::Eq, 20.0);
+        m.set_objective(1.0 * a + 1.0 * b + 1.0 * c);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective.round(), 4.0);
+        let (av, bv, cv) = (s.int_value(a), s.int_value(b), s.int_value(c));
+        assert_eq!(7 * av + 5 * bv + 3 * cv, 20);
+    }
+
+    #[test]
+    fn node_limit_reports_gap() {
+        // A knapsack big enough to need nodes, with a 1-node limit: the
+        // heuristic provides an incumbent and the gap is reported.
+        let mut m = Model::new();
+        let n = 12;
+        let mut obj = LinExpr::zero();
+        let mut w = LinExpr::zero();
+        for i in 0..n {
+            let x = m.add_var(format!("x{i}"), VarType::Binary, 0.0, 1.0);
+            obj += LinExpr::term(x, -((i % 5 + 1) as f64) - 0.37);
+            w += LinExpr::term(x, (i % 7 + 1) as f64);
+        }
+        m.add_constraint("w", w, Sense::Le, 11.0);
+        m.set_objective(obj);
+        let config = SolveConfig {
+            max_nodes: 1,
+            ..SolveConfig::default()
+        };
+        let s = m.solve_with(&config).unwrap();
+        assert!(s.is_usable());
+        assert!(s.stats.best_bound <= s.objective + 1e-9);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 4.0);
+        m.add_constraint("c", 1.0 * x, Sense::Le, 3.0);
+        m.set_objective(-1.0 * x);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_of_zero_linearization_is_exact() {
+        // min max(0, x - 3) with x >= 5 forced → 2.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("force", LinExpr::from(x), Sense::Ge, 5.0);
+        let t = m.max_of_zero("pen", LinExpr::from(x) - 3.0);
+        m.set_objective(LinExpr::from(t));
+        let s = m.solve().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        // And when the inner expression is negative the penalty is zero.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 2.0);
+        let t = m.max_of_zero("pen", LinExpr::from(x) - 3.0);
+        m.set_objective(LinExpr::from(t) + 0.001 * x);
+        let s = m.solve().unwrap();
+        assert!(s.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_over_linearization_is_exact() {
+        // min max(x, y, 4) with x >= 6 → 6.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("fx", LinExpr::from(x), Sense::Ge, 6.0);
+        let t = m.max_over(
+            "m",
+            [LinExpr::from(x), LinExpr::from(y), LinExpr::constant(4.0)],
+        );
+        m.set_objective(LinExpr::from(t));
+        let s = m.solve().unwrap();
+        assert!((s.objective - 6.0).abs() < 1e-6, "objective {}", s.objective);
+    }
+}

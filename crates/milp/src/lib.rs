@@ -1,0 +1,55 @@
+//! A pure-Rust mixed-integer linear programming (MIP) solver.
+//!
+//! The RAS paper relies on a commercial MIP solver accessed through FFI;
+//! no mature pure-Rust MIP crate exists, so this crate implements the
+//! substrate from scratch (see DESIGN.md §1):
+//!
+//! * [`expr`] — linear expressions over typed variables;
+//! * [`model`] — model construction with exact linearization helpers for
+//!   the `max(0,·)`, `max over groups`, and `|·| ≤ θ` terms the RAS
+//!   formulation uses;
+//! * [`sparse`] — compressed sparse column matrices;
+//! * [`presolve`] — interval-propagation bound tightening and cheap
+//!   infeasibility detection, run before the search;
+//! * [`standard`] — conversion to computational standard form;
+//! * [`simplex`] — a bounded-variable, two-phase revised primal simplex
+//!   with dense basis inverse and periodic refactorization;
+//! * [`branch`] — best-bound branch-and-bound with pseudo-cost /
+//!   most-fractional branching, rounding/diving incumbent heuristics, gap
+//!   reporting and node/time limits (Figure 9 measures exactly this gap);
+//! * [`branching`] — the branching-variable selection rules;
+//! * [`localsearch`] — an alternative local-search backend, mirroring how
+//!   Facebook's ReBalancer library can swap MIP for local search.
+//!
+//! # Examples
+//!
+//! ```
+//! use ras_milp::{Model, Sense, VarType};
+//!
+//! let mut model = Model::new();
+//! let x = model.add_var("x", VarType::Integer, 0.0, 10.0);
+//! let y = model.add_var("y", VarType::Integer, 0.0, 10.0);
+//! // Maximize x + y subject to 2x + y <= 10 (expressed as minimization).
+//! model.add_constraint("cap", 2.0 * x + 1.0 * y, Sense::Le, 10.0);
+//! model.set_objective(-1.0 * x - 1.0 * y);
+//! let solution = model.solve().unwrap();
+//! assert_eq!(solution.objective.round(), -10.0);
+//! ```
+
+pub mod branch;
+pub mod branching;
+pub mod expr;
+pub mod localsearch;
+pub mod lpfile;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+pub mod sparse;
+pub mod standard;
+
+pub use branch::BranchAndBound;
+pub use expr::{LinExpr, Var};
+pub use localsearch::LocalSearch;
+pub use model::{Constraint, Model, Sense, VarType};
+pub use solution::{SolveConfig, SolveError, SolveStats, Solution, Status};

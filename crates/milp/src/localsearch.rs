@@ -1,0 +1,285 @@
+//! Local-search backend.
+//!
+//! Facebook's ReBalancer library can route the same constrained
+//! optimization problem to either a MIP solver (used by RAS) or a
+//! local-search solver (used by Shard Manager, which needs answers in
+//! seconds). This module is the local-search backend: penalized
+//! simulated annealing over coordinate moves with incremental constraint
+//! activity maintenance. It returns good-but-unproven solutions fast and
+//! is used in the ablation benches to show why RAS picked MIP.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Model, Sense, VarType};
+use crate::solution::{SolveError, SolveStats, Solution, Status};
+
+/// Configuration for the local-search backend.
+#[derive(Debug, Clone)]
+pub struct LocalSearchConfig {
+    /// Number of proposal iterations.
+    pub iterations: usize,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+    /// Penalty weight per unit of constraint violation.
+    pub penalty: f64,
+    /// Initial annealing temperature (relative to objective scale).
+    pub initial_temperature: f64,
+    /// Optional starting point (clamped to bounds and integrality). The
+    /// production analogue starts from the *current* assignment rather
+    /// than from zero.
+    pub initial: Option<Vec<f64>>,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 200_000,
+            seed: 0x5eed,
+            penalty: 1e4,
+            initial_temperature: 1.0,
+            initial: None,
+        }
+    }
+}
+
+/// Local-search (simulated annealing) solver.
+#[derive(Debug, Clone, Default)]
+pub struct LocalSearch {
+    config: LocalSearchConfig,
+}
+
+impl LocalSearch {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: LocalSearchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs local search on the model.
+    ///
+    /// Returns [`Status::Feasible`] with the best feasible point found, or
+    /// [`SolveError::NoIncumbent`] when no feasible point was reached.
+    pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
+        let start = std::time::Instant::now();
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Per-variable column: (constraint index, coefficient).
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (ci, c) in model.constraints().iter().enumerate() {
+            for &(v, coeff) in &c.expr.terms {
+                columns[v.index()].push((ci, coeff));
+            }
+        }
+        let mut obj_coeff = vec![0.0; n];
+        for &(v, c) in &model.objective().terms {
+            obj_coeff[v.index()] += c;
+        }
+
+        // Initial point: the provided warm start, else the nearest finite
+        // bound to zero; integral where required.
+        let mut values: Vec<f64> = model
+            .vars()
+            .iter()
+            .enumerate()
+            .map(|(j, v)| {
+                let raw = self
+                    .config
+                    .initial
+                    .as_ref()
+                    .and_then(|init| init.get(j).copied())
+                    .unwrap_or(0.0);
+                let x = raw.clamp(v.lower, v.upper);
+                if v.ty == VarType::Continuous {
+                    x
+                } else {
+                    x.round().clamp(v.lower, v.upper)
+                }
+            })
+            .collect();
+
+        // Constraint activities.
+        let mut activity = vec![0.0; m];
+        for (ci, c) in model.constraints().iter().enumerate() {
+            activity[ci] = c.expr.eval(&values);
+        }
+        let violation = |ci: usize, act: f64| -> f64 {
+            let c = &model.constraints()[ci];
+            match c.sense {
+                Sense::Le => (act - c.rhs).max(0.0),
+                Sense::Ge => (c.rhs - act).max(0.0),
+                Sense::Eq => (act - c.rhs).abs(),
+            }
+        };
+        let mut total_violation: f64 = (0..m).map(|ci| violation(ci, activity[ci])).sum();
+        let mut objective: f64 =
+            model.objective().constant + (0..n).map(|j| obj_coeff[j] * values[j]).sum::<f64>();
+
+        let obj_scale = obj_coeff.iter().map(|c| c.abs()).fold(0.0, f64::max).max(1.0);
+        let mut temperature = self.config.initial_temperature * obj_scale;
+        let cooling = 0.999_97f64;
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        if total_violation <= 1e-9 {
+            best = Some((objective, values.clone()));
+        }
+        let mut proposals = 0usize;
+        for _ in 0..self.config.iterations {
+            proposals += 1;
+            if n == 0 {
+                break;
+            }
+            let j = rng.gen_range(0..n);
+            let info = &model.vars()[j];
+            if info.lower == info.upper {
+                continue;
+            }
+            let delta = match info.ty {
+                VarType::Continuous => {
+                    let span = if info.upper.is_finite() && info.lower.is_finite() {
+                        (info.upper - info.lower).max(1e-9)
+                    } else {
+                        1.0 + values[j].abs()
+                    };
+                    (rng.gen::<f64>() - 0.5) * span * 0.25
+                }
+                _ => {
+                    let step = if rng.gen::<f64>() < 0.8 {
+                        1.0
+                    } else {
+                        (2.0 + rng.gen::<f64>() * 8.0).round()
+                    };
+                    if rng.gen::<bool>() {
+                        step
+                    } else {
+                        -step
+                    }
+                }
+            };
+            let new_val = (values[j] + delta).clamp(info.lower, info.upper);
+            let new_val = if info.ty == VarType::Continuous {
+                new_val
+            } else {
+                new_val.round().clamp(info.lower, info.upper)
+            };
+            let real_delta = new_val - values[j];
+            if real_delta == 0.0 {
+                continue;
+            }
+            // Incremental score change.
+            let mut dv = 0.0;
+            for &(ci, coeff) in &columns[j] {
+                let old = violation(ci, activity[ci]);
+                let new = violation(ci, activity[ci] + coeff * real_delta);
+                dv += new - old;
+            }
+            let dobj = obj_coeff[j] * real_delta;
+            let dscore = dobj + self.config.penalty * dv;
+            let accept = dscore < 0.0
+                || (temperature > 1e-12 && rng.gen::<f64>() < (-dscore / temperature).exp());
+            if accept {
+                for &(ci, coeff) in &columns[j] {
+                    activity[ci] += coeff * real_delta;
+                }
+                values[j] = new_val;
+                objective += dobj;
+                total_violation += dv;
+                if total_violation <= 1e-9 {
+                    match &best {
+                        Some((b, _)) if objective >= *b => {}
+                        _ => best = Some((objective, values.clone())),
+                    }
+                }
+            }
+            temperature *= cooling;
+        }
+
+        let stats = SolveStats {
+            nodes: proposals,
+            simplex_iterations: 0,
+            solve_seconds: start.elapsed().as_secs_f64(),
+            best_bound: f64::NEG_INFINITY,
+            absolute_gap: f64::INFINITY,
+            gap: f64::INFINITY,
+            hit_limit: true,
+            setup_seconds: 0.0,
+            root_lp_seconds: 0.0,
+            mip_seconds: 0.0,
+        };
+        match best {
+            Some((obj, vals)) => Ok(Solution {
+                status: Status::Feasible,
+                objective: obj,
+                values: vals,
+                stats,
+            }),
+            None => Err(SolveError::NoIncumbent),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sense, VarType};
+
+    #[test]
+    fn finds_knapsack_optimum() {
+        let mut m = Model::new();
+        let a = m.add_var("a", VarType::Binary, 0.0, 1.0);
+        let b = m.add_var("b", VarType::Binary, 0.0, 1.0);
+        let c = m.add_var("c", VarType::Binary, 0.0, 1.0);
+        m.add_constraint("w", 3.0 * a + 4.0 * b + 2.0 * c, Sense::Le, 6.0);
+        m.set_objective(-10.0 * a - 13.0 * b - 7.0 * c);
+        let s = LocalSearch::new(LocalSearchConfig::default()).solve(&m).unwrap();
+        assert_eq!(s.status, Status::Feasible);
+        assert!(m.violations(&s.values, 1e-6).is_empty());
+        assert_eq!(s.objective.round(), -20.0);
+    }
+
+    #[test]
+    fn respects_equality_constraints() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 20.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 20.0);
+        m.add_constraint("eq", 1.0 * x + 1.0 * y, Sense::Eq, 10.0);
+        m.set_objective(2.0 * x + 1.0 * y);
+        let s = LocalSearch::new(LocalSearchConfig::default()).solve(&m).unwrap();
+        assert!(m.violations(&s.values, 1e-6).is_empty());
+        // Heuristic backend: feasibility is guaranteed, optimality is not
+        // (single-coordinate moves cannot cross the x + y = 10 manifold).
+        assert!(s.objective >= 10.0 - 1e-9 && s.objective <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 50.0);
+        m.add_constraint("c", 1.0 * x, Sense::Le, 37.0);
+        m.set_objective(-1.0 * x);
+        let cfg = LocalSearchConfig {
+            iterations: 20_000,
+            ..LocalSearchConfig::default()
+        };
+        let a = LocalSearch::new(cfg.clone()).solve(&m).unwrap();
+        let b = LocalSearch::new(cfg).solve(&m).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn infeasible_model_yields_no_incumbent() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 1.0);
+        m.add_constraint("c", 1.0 * x, Sense::Ge, 5.0);
+        let cfg = LocalSearchConfig {
+            iterations: 5_000,
+            ..LocalSearchConfig::default()
+        };
+        assert!(matches!(
+            LocalSearch::new(cfg).solve(&m),
+            Err(SolveError::NoIncumbent)
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! Presolve: interval-propagation bound tightening.
+//!
+//! Before branch and bound starts, every constraint's activity interval
+//! (computed from variable bounds) is propagated back onto the variables
+//! to tighten their bounds, integer bounds are rounded inward, and plain
+//! infeasibility is detected without any simplex work. Variables and
+//! constraints are never removed, so solution indices are unaffected —
+//! only the root bounds shrink, which makes every node LP cheaper and
+//! the tree smaller.
+
+use crate::model::{Model, Sense, VarType};
+
+/// Result of presolve: tightened `(lower, upper)` per variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tightened {
+    /// New lower bounds, index-aligned with the model's variables.
+    pub lower: Vec<f64>,
+    /// New upper bounds.
+    pub upper: Vec<f64>,
+    /// Number of individual bound changes applied.
+    pub changes: usize,
+}
+
+/// Errors detected during presolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresolveError {
+    /// A constraint can never be satisfied within the variable bounds.
+    Infeasible,
+}
+
+/// Runs bound tightening to a fixpoint (bounded passes).
+pub fn tighten(model: &Model) -> Result<Tightened, PresolveError> {
+    let mut lower: Vec<f64> = model.vars().iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars().iter().map(|v| v.upper).collect();
+    let mut changes = 0usize;
+
+    // Integer bounds round inward first.
+    for (j, info) in model.vars().iter().enumerate() {
+        if info.ty != VarType::Continuous {
+            let l = lower[j].ceil();
+            let u = upper[j].floor();
+            if l != lower[j] {
+                lower[j] = l;
+                changes += 1;
+            }
+            if u != upper[j] {
+                upper[j] = u;
+                changes += 1;
+            }
+        }
+    }
+
+    let tol = 1e-9;
+    for _pass in 0..10 {
+        let mut pass_changes = 0usize;
+        for c in model.constraints() {
+            // Activity interval from current bounds.
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(v, coeff) in &c.expr.terms {
+                let (l, u) = (lower[v.index()], upper[v.index()]);
+                if l > u + tol {
+                    return Err(PresolveError::Infeasible);
+                }
+                if coeff >= 0.0 {
+                    act_min += coeff * l;
+                    act_max += coeff * u;
+                } else {
+                    act_min += coeff * u;
+                    act_max += coeff * l;
+                }
+            }
+            // Feasibility of the row itself.
+            match c.sense {
+                Sense::Le if act_min > c.rhs + 1e-6 => return Err(PresolveError::Infeasible),
+                Sense::Ge if act_max < c.rhs - 1e-6 => return Err(PresolveError::Infeasible),
+                Sense::Eq if act_min > c.rhs + 1e-6 || act_max < c.rhs - 1e-6 => {
+                    return Err(PresolveError::Infeasible)
+                }
+                _ => {}
+            }
+            // Propagate: for each term, the residual interval of the rest
+            // of the row bounds the variable.
+            let (row_lo, row_hi) = match c.sense {
+                Sense::Le => (f64::NEG_INFINITY, c.rhs),
+                Sense::Ge => (c.rhs, f64::INFINITY),
+                Sense::Eq => (c.rhs, c.rhs),
+            };
+            for &(v, coeff) in &c.expr.terms {
+                if coeff.abs() < 1e-12 {
+                    continue;
+                }
+                let j = v.index();
+                let (l, u) = (lower[j], upper[j]);
+                // Activity of the other terms.
+                let (term_min, term_max) = if coeff >= 0.0 {
+                    (coeff * l, coeff * u)
+                } else {
+                    (coeff * u, coeff * l)
+                };
+                let rest_min = act_min - term_min;
+                let rest_max = act_max - term_max;
+                // row_lo ≤ rest + coeff·x ≤ row_hi
+                // ⇒ (row_lo − rest_max)/coeff ≤ x ≤ (row_hi − rest_min)/coeff  (coeff > 0)
+                let (mut new_l, mut new_u) = if coeff > 0.0 {
+                    (
+                        if row_lo.is_finite() && rest_max.is_finite() {
+                            (row_lo - rest_max) / coeff
+                        } else {
+                            f64::NEG_INFINITY
+                        },
+                        if row_hi.is_finite() && rest_min.is_finite() {
+                            (row_hi - rest_min) / coeff
+                        } else {
+                            f64::INFINITY
+                        },
+                    )
+                } else {
+                    (
+                        if row_hi.is_finite() && rest_min.is_finite() {
+                            (row_hi - rest_min) / coeff
+                        } else {
+                            f64::NEG_INFINITY
+                        },
+                        if row_lo.is_finite() && rest_max.is_finite() {
+                            (row_lo - rest_max) / coeff
+                        } else {
+                            f64::INFINITY
+                        },
+                    )
+                };
+                if model.vars()[j].ty != VarType::Continuous {
+                    new_l = if new_l.is_finite() {
+                        (new_l - 1e-7).ceil()
+                    } else {
+                        new_l
+                    };
+                    new_u = if new_u.is_finite() {
+                        (new_u + 1e-7).floor()
+                    } else {
+                        new_u
+                    };
+                }
+                if new_l > l + 1e-7 {
+                    lower[j] = new_l;
+                    pass_changes += 1;
+                }
+                if new_u < u - 1e-7 {
+                    upper[j] = new_u;
+                    pass_changes += 1;
+                }
+                if lower[j] > upper[j] + tol {
+                    return Err(PresolveError::Infeasible);
+                }
+            }
+        }
+        changes += pass_changes;
+        if pass_changes == 0 {
+            break;
+        }
+    }
+    Ok(Tightened {
+        lower,
+        upper,
+        changes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense, VarType};
+
+    #[test]
+    fn singleton_row_tightens_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 100.0);
+        m.add_constraint("cap", 2.0 * x, Sense::Le, 10.0);
+        let t = tighten(&m).unwrap();
+        assert!((t.upper[0] - 5.0).abs() < 1e-9);
+        assert!(t.changes >= 1);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.3, 7.8);
+        m.add_constraint("noop", LinExpr::from(x), Sense::Ge, 0.0);
+        let t = tighten(&m).unwrap();
+        assert_eq!(t.lower[0], 1.0);
+        assert_eq!(t.upper[0], 7.0);
+    }
+
+    #[test]
+    fn propagation_chains_through_rows() {
+        // x + y >= 9 with y <= 4 forces x >= 5.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 4.0);
+        m.add_constraint("c", 1.0 * x + 1.0 * y, Sense::Ge, 9.0);
+        let t = tighten(&m).unwrap();
+        assert!((t.lower[0] - 5.0).abs() < 1e-7, "x lower {}", t.lower[0]);
+    }
+
+    #[test]
+    fn infeasible_row_detected_without_simplex() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("c", 1.0 * x + 1.0 * y, Sense::Ge, 3.0);
+        assert_eq!(tighten(&m), Err(PresolveError::Infeasible));
+    }
+
+    #[test]
+    fn integer_infeasible_equality() {
+        // 2x = 5 with x integer in [0, 10]: propagation rounds to empty.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x, Sense::Eq, 5.0);
+        assert_eq!(tighten(&m), Err(PresolveError::Infeasible));
+    }
+
+    #[test]
+    fn negative_coefficients_propagate_correctly() {
+        // 10 - x >= 8 → x <= 2.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("c", -1.0 * x + 10.0, Sense::Ge, 8.0);
+        let t = tighten(&m).unwrap();
+        assert!((t.upper[0] - 2.0).abs() < 1e-7, "x upper {}", t.upper[0]);
+    }
+
+    #[test]
+    fn feasible_model_keeps_valid_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Integer, 0.0, 5.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 5.0);
+        m.add_constraint("c1", 1.0 * x + 1.0 * y, Sense::Le, 6.0);
+        m.add_constraint("c2", 1.0 * x - 1.0 * y, Sense::Ge, -2.0);
+        let t = tighten(&m).unwrap();
+        for j in 0..2 {
+            assert!(t.lower[j] <= t.upper[j]);
+        }
+    }
+}

@@ -1,0 +1,1059 @@
+//! Bounded-variable, two-phase revised primal simplex.
+//!
+//! The engine keeps a dense basis inverse `B⁻¹`, updated by pivot row
+//! operations (product form) and rebuilt by Gauss-Jordan elimination every
+//! few hundred pivots to bound numerical drift. Feasibility is obtained
+//! with one artificial variable per row (phase 1 minimizes their sum),
+//! after which phase 2 minimizes the true objective. Anti-cycling uses
+//! Bland's rule after a run of degenerate pivots.
+
+use crate::standard::StandardForm;
+
+/// Outcome status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal.
+    Optimal,
+    /// No feasible point exists (phase-1 optimum is positive).
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+    /// Iteration limit reached before optimality.
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Status.
+    pub status: LpStatus,
+    /// Objective value (meaningful for `Optimal` and `IterationLimit`).
+    pub objective: f64,
+    /// Values for all structural + slack columns.
+    pub values: Vec<f64>,
+    /// Total simplex iterations across both phases.
+    pub iterations: usize,
+    /// Optimal basis snapshot (present on `Optimal`), usable to warm-start
+    /// a re-solve after bound changes via [`solve_lp_warm`].
+    pub basis: Option<Basis>,
+}
+
+/// A basis snapshot: which column is basic in each row, and at which bound
+/// each nonbasic real column rests.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Basic column per row (may include artificial columns pinned at 0).
+    pub basis: Vec<usize>,
+    /// Nonbasic-at-upper flag for the `n + m` real columns.
+    pub at_upper: Vec<bool>,
+}
+
+/// Tuning knobs for the simplex engine.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Hard cap on total pivots.
+    pub max_iterations: usize,
+    /// Optional wall-clock deadline; pivoting stops with
+    /// [`LpStatus::IterationLimit`] once it passes. Branch and bound sets
+    /// this from its own time limit so a single huge LP cannot blow
+    /// through the solve budget.
+    pub deadline: Option<std::time::Instant>,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Smallest pivot magnitude accepted.
+    pub pivot_tol: f64,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Rebuild `B⁻¹` after this many pivots.
+    pub refactor_interval: usize,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200_000,
+            deadline: None,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-9,
+            feas_tol: 1e-7,
+            refactor_interval: 200,
+        }
+    }
+}
+
+/// Solves the LP `min cᵀx  s.t.  Ax = b, lower <= x <= upper`.
+///
+/// `lower`/`upper` override the standard form's default bounds (same
+/// length, `n + m`); branch-and-bound nodes use this to impose branching
+/// bounds without rebuilding the matrix.
+pub fn solve_lp(
+    sf: &StandardForm,
+    lower: &[f64],
+    upper: &[f64],
+    config: &SimplexConfig,
+) -> LpResult {
+    // The dense basis inverse needs m² doubles; refuse politely instead
+    // of aborting on out-of-memory for models beyond this engine's reach
+    // (production-scale models belong to a sparse-LU engine).
+    const MAX_ROWS: usize = 25_000;
+    if sf.num_rows > MAX_ROWS {
+        return LpResult {
+            status: LpStatus::IterationLimit,
+            objective: f64::NEG_INFINITY,
+            values: lower
+                .iter()
+                .zip(upper)
+                .map(|(l, u)| l.clamp(f64::MIN, *u).max(0.0_f64.clamp(*l, *u)))
+                .collect(),
+            iterations: 0,
+            basis: None,
+        };
+    }
+    Simplex::new(sf, lower, upper, config.clone()).run()
+}
+
+/// Like [`solve_lp`] but warm-started from a previous optimal basis.
+///
+/// After a branch-and-bound bound change, the old basis stays dual
+/// feasible; a short dual-simplex repair restores primal feasibility and
+/// a primal cleanup finishes. Falls back to a cold start whenever the
+/// warm basis is unusable (singular, stale, or the repair stalls), so the
+/// result is always identical to a cold solve up to degeneracy.
+pub fn solve_lp_warm(
+    sf: &StandardForm,
+    lower: &[f64],
+    upper: &[f64],
+    config: &SimplexConfig,
+    warm: Option<&Basis>,
+) -> LpResult {
+    if let Some(basis) = warm {
+        if sf.num_rows > 0 && basis.basis.len() == sf.num_rows {
+            let simplex = Simplex::new(sf, lower, upper, config.clone());
+            if let Some(result) = simplex.run_warm(basis) {
+                return result;
+            }
+        }
+    }
+    solve_lp(sf, lower, upper, config)
+}
+
+struct Simplex<'a> {
+    sf: &'a StandardForm,
+    config: SimplexConfig,
+    m: usize,
+    /// Columns: structural + slack (`n0`), then `m` artificials.
+    n0: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    costs: Vec<f64>,
+    /// Sign of each artificial's identity coefficient.
+    art_sign: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Row of a basic variable, or `usize::MAX` when nonbasic.
+    position: Vec<usize>,
+    /// Dense row-major `B⁻¹`.
+    binv: Vec<f64>,
+    /// Current value of every variable.
+    x: Vec<f64>,
+    /// Nonbasic-at-upper flag.
+    at_upper: Vec<bool>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    degenerate_run: usize,
+    // Scratch buffers.
+    y: Vec<f64>,
+    w: Vec<f64>,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(sf: &'a StandardForm, lower: &[f64], upper: &[f64], config: SimplexConfig) -> Self {
+        let m = sf.num_rows;
+        let n0 = sf.num_cols();
+        let total = n0 + m;
+        let mut lo = Vec::with_capacity(total);
+        let mut up = Vec::with_capacity(total);
+        lo.extend_from_slice(lower);
+        up.extend_from_slice(upper);
+        lo.extend(std::iter::repeat_n(0.0, m));
+        up.extend(std::iter::repeat_n(f64::INFINITY, m));
+        Self {
+            sf,
+            config,
+            m,
+            n0,
+            lower: lo,
+            upper: up,
+            costs: vec![0.0; total],
+            art_sign: vec![1.0; m],
+            basis: vec![0; m],
+            position: vec![usize::MAX; total],
+            binv: vec![0.0; m * m],
+            x: vec![0.0; total],
+            at_upper: vec![false; total],
+            iterations: 0,
+            pivots_since_refactor: 0,
+            degenerate_run: 0,
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+        }
+    }
+
+    /// Iterates the `(row, value)` nonzeros of any column, including
+    /// artificials.
+    fn column(&self, j: usize) -> ColumnIter<'_> {
+        if j < self.n0 {
+            ColumnIter::Matrix(Box::new(self.sf.matrix.column(j)))
+        } else {
+            ColumnIter::Artificial(Some((j - self.n0, self.art_sign[j - self.n0])))
+        }
+    }
+
+    fn run(mut self) -> LpResult {
+        if self.m == 0 {
+            return self.solve_unconstrained();
+        }
+        self.init_basis();
+        // Phase 1: minimize the sum of artificials.
+        for j in 0..self.m {
+            self.costs[self.n0 + j] = 1.0;
+        }
+        let status = self.optimize();
+        if status == LpStatus::IterationLimit {
+            return self.finish(LpStatus::IterationLimit);
+        }
+        let infeas: f64 = (0..self.m).map(|i| self.x[self.n0 + i]).sum();
+        if infeas > self.config.feas_tol * (1.0 + self.sf.rhs.iter().map(|v| v.abs()).sum::<f64>())
+        {
+            return self.finish(LpStatus::Infeasible);
+        }
+        // Phase 2: true costs; artificials are pinned to zero.
+        for j in 0..self.m {
+            self.costs[self.n0 + j] = 0.0;
+            self.lower[self.n0 + j] = 0.0;
+            self.upper[self.n0 + j] = 0.0;
+            self.x[self.n0 + j] = 0.0;
+        }
+        self.costs[..self.n0].copy_from_slice(&self.sf.costs);
+        let status = self.optimize();
+        self.finish(status)
+    }
+
+    /// Handles the degenerate `m == 0` case (no constraints).
+    fn solve_unconstrained(mut self) -> LpResult {
+        for j in 0..self.n0 {
+            let c = self.sf.costs[j];
+            let v = if c > 0.0 {
+                self.lower[j]
+            } else if c < 0.0 {
+                self.upper[j]
+            } else if self.lower[j].is_finite() {
+                self.lower[j]
+            } else if self.upper[j].is_finite() {
+                self.upper[j]
+            } else {
+                0.0
+            };
+            if !v.is_finite() {
+                return self.finish(LpStatus::Unbounded);
+            }
+            self.x[j] = v;
+        }
+        self.costs[..self.n0].copy_from_slice(&self.sf.costs);
+        self.finish(LpStatus::Optimal)
+    }
+
+    fn finish(self, status: LpStatus) -> LpResult {
+        let objective = self.sf.obj_constant
+            + (0..self.n0)
+                .map(|j| self.sf.costs[j] * self.x[j])
+                .sum::<f64>();
+        let basis = (status == LpStatus::Optimal && self.m > 0).then(|| Basis {
+            basis: self.basis.clone(),
+            at_upper: self.at_upper[..self.n0].to_vec(),
+        });
+        LpResult {
+            status,
+            objective,
+            values: self.x[..self.n0].to_vec(),
+            iterations: self.iterations,
+            basis,
+        }
+    }
+
+    /// Places all real columns nonbasic at a finite bound and installs the
+    /// artificial basis.
+    fn init_basis(&mut self) {
+        for j in 0..self.n0 {
+            let (lo, up) = (self.lower[j], self.upper[j]);
+            let (v, at_up) = if lo.is_finite() {
+                (lo, false)
+            } else if up.is_finite() {
+                (up, true)
+            } else {
+                (0.0, false)
+            };
+            self.x[j] = v;
+            self.at_upper[j] = at_up;
+            self.position[j] = usize::MAX;
+        }
+        // Residual r = b - A x_N.
+        let mut r = self.sf.rhs.clone();
+        for j in 0..self.n0 {
+            if self.x[j] != 0.0 {
+                self.sf.matrix.scatter_column(j, -self.x[j], &mut r);
+            }
+        }
+        self.binv.iter_mut().for_each(|v| *v = 0.0);
+        #[allow(clippy::needless_range_loop)] // Indexing three arrays in lockstep.
+        for i in 0..self.m {
+            let sign = if r[i] >= 0.0 { 1.0 } else { -1.0 };
+            self.art_sign[i] = sign;
+            let art = self.n0 + i;
+            self.basis[i] = art;
+            self.position[art] = i;
+            self.x[art] = r[i].abs();
+            // B = diag(sign) so B⁻¹ = diag(sign).
+            self.binv[i * self.m + i] = sign;
+        }
+    }
+
+    /// Runs pivots until optimal / unbounded / iteration limit.
+    fn optimize(&mut self) -> LpStatus {
+        loop {
+            if self.iterations >= self.config.max_iterations {
+                return LpStatus::IterationLimit;
+            }
+            // Deadline checks are cheap relative to an O(m²) pivot.
+            if self.iterations.is_multiple_of(32) {
+                if let Some(deadline) = self.config.deadline {
+                    if std::time::Instant::now() > deadline {
+                        return LpStatus::IterationLimit;
+                    }
+                }
+            }
+            self.compute_duals();
+            let use_bland = self.degenerate_run > 64;
+            let Some((q, d_q)) = self.price(use_bland) else {
+                return LpStatus::Optimal;
+            };
+            self.iterations += 1;
+            let sigma = if self.position[q] == usize::MAX && self.is_free(q) {
+                if d_q < 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            } else if self.at_upper[q] {
+                -1.0
+            } else {
+                1.0
+            };
+            self.compute_direction(q);
+            match self.ratio_test(q, sigma, use_bland) {
+                Ratio::Unbounded => return LpStatus::Unbounded,
+                Ratio::BoundFlip(t) => {
+                    self.apply_step(q, sigma, t, None);
+                    self.at_upper[q] = !self.at_upper[q];
+                    self.x[q] = if self.at_upper[q] {
+                        self.upper[q]
+                    } else {
+                        self.lower[q]
+                    };
+                    if t <= self.config.feas_tol {
+                        self.degenerate_run += 1;
+                    } else {
+                        self.degenerate_run = 0;
+                    }
+                }
+                Ratio::Pivot { t, row, to_upper } => {
+                    self.apply_step(q, sigma, t, Some((row, to_upper)));
+                    if t <= self.config.feas_tol {
+                        self.degenerate_run += 1;
+                    } else {
+                        self.degenerate_run = 0;
+                    }
+                    self.pivots_since_refactor += 1;
+                    if self.pivots_since_refactor >= self.config.refactor_interval {
+                        self.refactor();
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_free(&self, j: usize) -> bool {
+        self.lower[j] == f64::NEG_INFINITY && self.upper[j] == f64::INFINITY
+    }
+
+    /// Computes `y = (c_Bᵀ B⁻¹)ᵀ`.
+    fn compute_duals(&mut self) {
+        let m = self.m;
+        self.y.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..m {
+            let cb = self.costs[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (k, yk) in self.y.iter_mut().enumerate() {
+                    *yk += cb * row[k];
+                }
+            }
+        }
+    }
+
+    /// Selects an entering column; returns `(column, reduced cost)`.
+    fn price(&self, bland: bool) -> Option<(usize, f64)> {
+        let tol = self.config.opt_tol;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.n0 + self.m {
+            if self.position[j] != usize::MAX {
+                continue;
+            }
+            if self.lower[j] == self.upper[j] {
+                continue; // Fixed variable can never improve.
+            }
+            let d = self.costs[j] - self.column_dot_y(j);
+            let eligible = if self.is_free(j) {
+                d.abs() > tol
+            } else if self.at_upper[j] {
+                d > tol
+            } else {
+                d < -tol
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                return Some((j, d));
+            }
+            match best {
+                Some((_, bd)) if d.abs() <= bd.abs() => {}
+                _ => best = Some((j, d)),
+            }
+        }
+        best
+    }
+
+    fn column_dot_y(&self, j: usize) -> f64 {
+        match self.column(j) {
+            ColumnIter::Matrix(_) => self.sf.matrix.column_dot(j, &self.y),
+            ColumnIter::Artificial(Some((row, sign))) => sign * self.y[row],
+            ColumnIter::Artificial(None) => 0.0,
+        }
+    }
+
+    /// Computes `w = B⁻¹ A_q` into `self.w`.
+    fn compute_direction(&mut self, q: usize) {
+        let m = self.m;
+        self.w.iter_mut().for_each(|v| *v = 0.0);
+        let entries: Vec<(usize, f64)> = match self.column(q) {
+            ColumnIter::Matrix(it) => it.collect(),
+            ColumnIter::Artificial(e) => e.into_iter().collect(),
+        };
+        for (col, val) in entries {
+            if val == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                self.w[r] += self.binv[r * m + col] * val;
+            }
+        }
+    }
+
+    /// Ratio test: how far can the entering variable move?
+    fn ratio_test(&self, q: usize, sigma: f64, bland: bool) -> Ratio {
+        let mut t_best = f64::INFINITY;
+        let mut leave: Option<(usize, bool, f64)> = None; // (row, to_upper, |w|)
+        for i in 0..self.m {
+            let w_i = self.w[i];
+            if w_i.abs() <= self.config.pivot_tol {
+                continue;
+            }
+            let b = self.basis[i];
+            let rate = -sigma * w_i;
+            let (limit, to_upper) = if rate < 0.0 {
+                if self.lower[b].is_finite() {
+                    ((self.x[b] - self.lower[b]) / -rate, false)
+                } else {
+                    continue;
+                }
+            } else if self.upper[b].is_finite() {
+                ((self.upper[b] - self.x[b]) / rate, true)
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0);
+            let better = match leave {
+                None => limit < t_best - 1e-12,
+                Some((lr, _, lw)) => {
+                    if bland {
+                        limit < t_best - 1e-12
+                            || (limit <= t_best + 1e-12 && self.basis[i] < self.basis[lr])
+                    } else {
+                        limit < t_best - 1e-12
+                            || (limit <= t_best + 1e-12 && w_i.abs() > lw)
+                    }
+                }
+            };
+            if better {
+                t_best = limit.min(t_best);
+                leave = Some((i, to_upper, w_i.abs()));
+            }
+        }
+        // Bound flip of the entering variable itself.
+        let flip = self.upper[q] - self.lower[q];
+        if flip.is_finite() && flip <= t_best {
+            return Ratio::BoundFlip(flip);
+        }
+        match leave {
+            None => Ratio::Unbounded,
+            Some((row, to_upper, _)) => Ratio::Pivot {
+                t: t_best,
+                row,
+                to_upper,
+            },
+        }
+    }
+
+    /// Moves the entering variable by `t` and optionally pivots.
+    fn apply_step(&mut self, q: usize, sigma: f64, t: f64, pivot: Option<(usize, bool)>) {
+        let m = self.m;
+        // Update basic values: x_B -= sigma * t * w.
+        if t != 0.0 {
+            for i in 0..m {
+                let b = self.basis[i];
+                self.x[b] -= sigma * t * self.w[i];
+            }
+        }
+        let Some((row, to_upper)) = pivot else {
+            return;
+        };
+        let leaving = self.basis[row];
+        // Snap the leaving variable exactly onto the bound it hit.
+        self.x[leaving] = if to_upper {
+            self.upper[leaving]
+        } else {
+            self.lower[leaving]
+        };
+        self.at_upper[leaving] = to_upper;
+        self.position[leaving] = usize::MAX;
+        // Entering variable's new value.
+        let from = if self.is_free(q) {
+            self.x[q]
+        } else if self.at_upper[q] {
+            self.upper[q]
+        } else {
+            self.lower[q]
+        };
+        self.x[q] = from + sigma * t;
+        self.basis[row] = q;
+        self.position[q] = row;
+        // Product-form update of B⁻¹.
+        let pivot_val = self.w[row];
+        let (head, tail) = self.binv.split_at_mut(row * m);
+        let (pivot_row, rest) = tail.split_at_mut(m);
+        for v in pivot_row.iter_mut() {
+            *v /= pivot_val;
+        }
+        for (i, chunk) in head.chunks_mut(m).enumerate() {
+            let w_i = self.w[i];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+        for (k, chunk) in rest.chunks_mut(m).enumerate() {
+            let w_i = self.w[row + 1 + k];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `B⁻¹` by Gauss-Jordan elimination with partial pivoting
+    /// and recomputes basic values from the nonbasic assignment.
+    ///
+    /// Returns false when the basis is numerically singular (the old
+    /// inverse is kept so the caller can decide how to recover).
+    fn refactor(&mut self) -> bool {
+        self.pivots_since_refactor = 0;
+        let m = self.m;
+        // Dense B, row-major.
+        let mut b_mat = vec![0.0; m * m];
+        for (col, &bj) in self.basis.iter().enumerate() {
+            let entries: Vec<(usize, f64)> = match self.column(bj) {
+                ColumnIter::Matrix(it) => it.collect(),
+                ColumnIter::Artificial(e) => e.into_iter().collect(),
+            };
+            for (r, v) in entries {
+                b_mat[r * m + col] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best_row = col;
+            let mut best = b_mat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = b_mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    best_row = r;
+                }
+            }
+            if best <= 1e-12 {
+                // Numerically singular basis; keep the old inverse rather
+                // than corrupting state. The next pivots will repair it.
+                return false;
+            }
+            if best_row != col {
+                for k in 0..m {
+                    b_mat.swap(col * m + k, best_row * m + k);
+                    inv.swap(col * m + k, best_row * m + k);
+                }
+            }
+            let p = b_mat[col * m + col];
+            for k in 0..m {
+                b_mat[col * m + k] /= p;
+                inv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = b_mat[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        b_mat[r * m + k] -= f * b_mat[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        // Recompute x_B = B⁻¹ (b − N x_N).
+        let mut r = self.sf.rhs.clone();
+        for j in 0..self.n0 + self.m {
+            if self.position[j] != usize::MAX {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let entries: Vec<(usize, f64)> = match self.column(j) {
+                ColumnIter::Matrix(it) => it.collect(),
+                ColumnIter::Artificial(e) => e.into_iter().collect(),
+            };
+            for (row, v) in entries {
+                r[row] -= v * xj;
+            }
+        }
+        for i in 0..m {
+            let mut v = 0.0;
+            let row = &self.binv[i * m..(i + 1) * m];
+            for (k, rk) in r.iter().enumerate() {
+                v += row[k] * rk;
+            }
+            self.x[self.basis[i]] = v;
+        }
+        true
+    }
+
+    /// Warm-started solve: install the given basis, repair primal
+    /// feasibility with dual-simplex pivots, then finish with primal
+    /// phase 2. Returns `None` when the warm path cannot proceed safely —
+    /// the caller falls back to a cold start.
+    fn run_warm(mut self, warm: &Basis) -> Option<LpResult> {
+        let m = self.m;
+        // Real costs from the start; artificial columns are pinned at 0.
+        self.costs[..self.n0].copy_from_slice(&self.sf.costs);
+        for i in 0..m {
+            let art = self.n0 + i;
+            self.costs[art] = 0.0;
+            self.lower[art] = 0.0;
+            self.upper[art] = 0.0;
+            self.art_sign[i] = 1.0;
+        }
+        // Nonbasic columns rest on the bound recorded by the snapshot,
+        // clamped to the (possibly tightened) current bounds.
+        for j in 0..self.n0 {
+            self.position[j] = usize::MAX;
+            let prefer_upper = warm.at_upper.get(j).copied().unwrap_or(false);
+            let (lo, up) = (self.lower[j], self.upper[j]);
+            let (v, at_up) = if prefer_upper && up.is_finite() {
+                (up, true)
+            } else if lo.is_finite() {
+                (lo, false)
+            } else if up.is_finite() {
+                (up, true)
+            } else {
+                (0.0, false)
+            };
+            self.x[j] = v;
+            self.at_upper[j] = at_up;
+        }
+        for i in 0..m {
+            self.position[self.n0 + i] = usize::MAX;
+            self.x[self.n0 + i] = 0.0;
+        }
+        // Install the basis (reject stale or duplicated entries).
+        for (row, &bj) in warm.basis.iter().enumerate() {
+            if bj >= self.n0 + m || self.position[bj] != usize::MAX {
+                return None;
+            }
+            self.basis[row] = bj;
+            self.position[bj] = row;
+        }
+        if !self.refactor() {
+            return None;
+        }
+        // Dual repair: drive out-of-bounds basics onto their bounds.
+        let max_repair = 4 * m + 200;
+        for _ in 0..max_repair {
+            let Some((row, target, to_upper)) = self.most_violated_basic() else {
+                // Primal feasible: a primal cleanup reaches optimality.
+                let status = self.optimize();
+                return Some(self.finish(status));
+            };
+            if !self.dual_pivot(row, target, to_upper) {
+                return None;
+            }
+            self.iterations += 1;
+            self.pivots_since_refactor += 1;
+            if self.pivots_since_refactor >= self.config.refactor_interval
+                && !self.refactor()
+            {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The basic variable furthest outside its bounds, with the bound it
+    /// must land on: `(row, bound value, is_upper)`.
+    fn most_violated_basic(&self) -> Option<(usize, f64, bool)> {
+        let mut worst: Option<(usize, f64, bool, f64)> = None;
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let x = self.x[b];
+            let (viol, target, to_upper) = if x < self.lower[b] - self.config.feas_tol {
+                (self.lower[b] - x, self.lower[b], false)
+            } else if x > self.upper[b] + self.config.feas_tol {
+                (x - self.upper[b], self.upper[b], true)
+            } else {
+                continue;
+            };
+            match worst {
+                Some((_, _, _, w)) if w >= viol => {}
+                _ => worst = Some((i, target, to_upper, viol)),
+            }
+        }
+        worst.map(|(i, t, u, _)| (i, t, u))
+    }
+
+    /// One dual-simplex pivot: the basic variable of `row` leaves onto
+    /// `target`; an entering column is chosen by the dual ratio test.
+    /// Returns false when no entering candidate exists (fall back cold).
+    fn dual_pivot(&mut self, row: usize, target: f64, to_upper: bool) -> bool {
+        let m = self.m;
+        let leaving = self.basis[row];
+        // Direction the leaving basic must move: up toward its lower
+        // bound, or down toward its upper bound.
+        let need_increase = !to_upper;
+        // rho = row `row` of B⁻¹.
+        let rho: Vec<f64> = self.binv[row * m..(row + 1) * m].to_vec();
+        self.compute_duals();
+        let mut best: Option<(usize, f64, f64)> = None; // (col, |ratio|, |alpha|)
+        for j in 0..self.n0 + m {
+            if self.position[j] != usize::MAX || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let alpha = match self.column(j) {
+                ColumnIter::Matrix(it) => it.map(|(r, v)| v * rho[r]).sum::<f64>(),
+                ColumnIter::Artificial(Some((r, sign))) => sign * rho[r],
+                ColumnIter::Artificial(None) => 0.0,
+            };
+            if alpha.abs() <= self.config.pivot_tol {
+                continue;
+            }
+            // x_B[row] changes by -alpha * Δx_j; pick a j whose feasible
+            // move direction pushes the leaving variable the right way.
+            let ok = if self.is_free(j) {
+                true
+            } else if self.at_upper[j] {
+                // x_j can only decrease: Δ < 0 → x_B[row] += alpha·|Δ|.
+                (alpha > 0.0) == need_increase
+            } else {
+                // x_j can only increase: x_B[row] -= alpha·Δ.
+                (alpha < 0.0) == need_increase
+            };
+            if !ok {
+                continue;
+            }
+            let d = self.costs[j] - self.column_dot_y(j);
+            let ratio = (d / alpha).abs();
+            match best {
+                Some((_, br, ba)) if ratio > br + 1e-12 || (ratio >= br - 1e-12 && alpha.abs() <= ba) => {}
+                _ => best = Some((j, ratio, alpha.abs())),
+            }
+        }
+        let Some((q, _, _)) = best else {
+            return false;
+        };
+        // FTRAN for the entering column, then the standard pivot.
+        self.compute_direction(q);
+        let w_r = self.w[row];
+        if w_r.abs() <= self.config.pivot_tol {
+            return false;
+        }
+        // Step that lands the leaving variable exactly on `target`.
+        let delta = (self.x[leaving] - target) / w_r;
+        for i in 0..m {
+            let b = self.basis[i];
+            self.x[b] -= delta * self.w[i];
+        }
+        self.x[leaving] = target;
+        self.at_upper[leaving] = to_upper;
+        self.position[leaving] = usize::MAX;
+        self.x[q] += delta;
+        self.basis[row] = q;
+        self.position[q] = row;
+        // Product-form update of B⁻¹ (same as apply_step).
+        let (head, tail) = self.binv.split_at_mut(row * m);
+        let (pivot_row, rest) = tail.split_at_mut(m);
+        for v in pivot_row.iter_mut() {
+            *v /= w_r;
+        }
+        for (i, chunk) in head.chunks_mut(m).enumerate() {
+            let w_i = self.w[i];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+        for (k, chunk) in rest.chunks_mut(m).enumerate() {
+            let w_i = self.w[row + 1 + k];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of the ratio test.
+enum Ratio {
+    /// No bound limits the step: the LP is unbounded in this direction.
+    Unbounded,
+    /// The entering variable hits its own opposite bound first.
+    BoundFlip(f64),
+    /// A basic variable leaves at `row` after a step of `t`.
+    Pivot { t: f64, row: usize, to_upper: bool },
+}
+
+enum ColumnIter<'a> {
+    Matrix(Box<dyn Iterator<Item = (usize, f64)> + 'a>),
+    Artificial(Option<(usize, f64)>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense, VarType};
+
+    fn lp(model: &Model) -> LpResult {
+        let sf = StandardForm::from_model(model);
+        solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &SimplexConfig::default())
+    }
+
+    #[test]
+    fn textbook_2d_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), obj 36.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x), Sense::Le, 4.0);
+        m.add_constraint("c2", 2.0 * y, Sense::Le, 12.0);
+        m.add_constraint("c3", 3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        m.set_objective(-3.0 * x - 5.0 * y);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 36.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!((r.values[0] - 2.0).abs() < 1e-6);
+        assert!((r.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 4 → (7, 3).
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint("sum", 1.0 * x + 1.0 * y, Sense::Eq, 10.0);
+        m.add_constraint("diff", 1.0 * x - 1.0 * y, Sense::Eq, 4.0);
+        m.set_objective(1.0 * x + 1.0 * y);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] - 7.0).abs() < 1e-6);
+        assert!((r.values[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("hi", LinExpr::from(x), Sense::Ge, 2.0);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        m.set_objective(-1.0 * x);
+        m.add_constraint("noop", LinExpr::from(x), Sense::Ge, 0.0);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5  → -5.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, -5.0, 5.0);
+        m.add_constraint("noop", LinExpr::from(x), Sense::Le, 100.0);
+        m.set_objective(LinExpr::from(x));
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_lp() {
+        // min x + 2y, x free, y in [0, 10], x + y >= 4, x >= -3 via constraint.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("c", 1.0 * x + 1.0 * y, Sense::Ge, 4.0);
+        m.add_constraint("lb", LinExpr::from(x), Sense::Ge, -3.0);
+        m.set_objective(1.0 * x + 2.0 * y);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Optimum: x = 4, y = 0 → 4 (cheaper than using y).
+        assert!((r.objective - 4.0).abs() < 1e-6, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        for i in 0..20 {
+            m.add_constraint(format!("r{i}"), 1.0 * x + 1.0 * y, Sense::Le, 10.0);
+        }
+        m.add_constraint("cap", 1.0 * x - 1.0 * y, Sense::Le, 0.0);
+        m.set_objective(-1.0 * x - 1.0 * y);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transportation_lp() {
+        // 2 supplies (10, 20), 3 demands (5, 15, 10), unit costs.
+        let costs = [[2.0, 4.0, 5.0], [3.0, 1.0, 7.0]];
+        let mut m = Model::new();
+        let mut vars = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                vars.push(m.add_var(
+                    format!("x{i}{j}"),
+                    VarType::Continuous,
+                    0.0,
+                    f64::INFINITY,
+                ));
+            }
+        }
+        for (i, supply) in [10.0, 20.0].iter().enumerate() {
+            let e = LinExpr::sum((0..3).map(|j| (vars[i * 3 + j], 1.0)));
+            m.add_constraint(format!("s{i}"), e, Sense::Le, *supply);
+        }
+        for (j, demand) in [5.0, 15.0, 10.0].iter().enumerate() {
+            let e = LinExpr::sum((0..2).map(|i| (vars[i * 3 + j], 1.0)));
+            m.add_constraint(format!("d{j}"), e, Sense::Ge, *demand);
+        }
+        let mut obj = LinExpr::zero();
+        for i in 0..2 {
+            for j in 0..3 {
+                obj += LinExpr::term(vars[i * 3 + j], costs[i][j]);
+            }
+        }
+        m.set_objective(obj);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Optimal plan: d0 ← s1 at cost 3 (15), d1 ← s1 at cost 1 (15),
+        // d2 ← s0 at cost 5 (50): total 80.
+        assert!((r.objective - 80.0).abs() < 1e-6, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn refactor_keeps_solution_consistent() {
+        // Force many pivots with a tiny refactor interval.
+        let mut m = Model::new();
+        let n = 15;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 10.0))
+            .collect();
+        for i in 0..n - 1 {
+            m.add_constraint(
+                format!("c{i}"),
+                1.0 * vars[i] + 1.0 * vars[i + 1],
+                Sense::Le,
+                7.0 + (i % 3) as f64,
+            );
+        }
+        m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, -1.0))));
+        let sf = StandardForm::from_model(&m);
+        let tight = SimplexConfig {
+            refactor_interval: 3,
+            ..SimplexConfig::default()
+        };
+        let r1 = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &tight);
+        let r2 = solve_lp(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &SimplexConfig::default(),
+        );
+        assert_eq!(r1.status, LpStatus::Optimal);
+        assert!((r1.objective - r2.objective).abs() < 1e-5);
+        assert!(m.violations(&r1.values[..n], 1e-5).is_empty());
+    }
+
+    #[test]
+    fn bound_override_changes_optimum() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 10.0);
+        m.add_constraint("noop", LinExpr::from(x), Sense::Le, 100.0);
+        m.set_objective(-1.0 * x);
+        let sf = StandardForm::from_model(&m);
+        let mut up = sf.upper.clone();
+        up[0] = 3.0;
+        let r = solve_lp(&sf, &sf.lower.clone(), &up, &SimplexConfig::default());
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] - 3.0).abs() < 1e-6);
+    }
+}

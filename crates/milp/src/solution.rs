@@ -1,0 +1,185 @@
+//! Solver results, statistics, and configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Final status of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// A feasible incumbent exists but limits stopped the proof of
+    /// optimality; [`SolveStats::gap`] reports the remaining gap. This is
+    /// the normal production outcome for RAS phase 1 (paper Figure 9).
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// Proven unbounded.
+    Unbounded,
+    /// Limits hit before any feasible point was found.
+    Unknown,
+}
+
+/// Statistics from a solve, used by the Figures 7–11 experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: usize,
+    /// Wall-clock seconds spent in the solve.
+    pub solve_seconds: f64,
+    /// Best proven lower bound on the objective.
+    pub best_bound: f64,
+    /// Absolute gap `incumbent − best_bound` (0 when proven optimal).
+    pub absolute_gap: f64,
+    /// Relative gap `absolute_gap / max(1, |incumbent|)`.
+    pub gap: f64,
+    /// True when a limit (time/nodes) stopped the solve early.
+    pub hit_limit: bool,
+    /// Seconds spent building the standard form (paper's "Solver Build").
+    pub setup_seconds: f64,
+    /// Seconds spent in the root LP relaxation (paper's "Initial State").
+    pub root_lp_seconds: f64,
+    /// Seconds spent in branch and bound proper (paper's "MIP" step).
+    pub mip_seconds: f64,
+}
+
+/// Configuration for a MIP solve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveConfig {
+    /// Wall-clock limit in seconds (the paper's phase-1 timeout).
+    pub time_limit_seconds: f64,
+    /// Node limit for branch and bound.
+    pub max_nodes: usize,
+    /// Stop when the relative gap falls below this value.
+    pub rel_gap_tol: f64,
+    /// Stop when the absolute gap falls below this value.
+    pub abs_gap_tol: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Simplex pivot limit per LP.
+    pub max_lp_iterations: usize,
+    /// Stop once an incumbent exists and the best bound has not improved
+    /// for this many consecutive nodes (0 disables). Mirrors how
+    /// production deployments cut losses on symmetric plateaus instead of
+    /// burning the whole timeout (the residual gap is still reported).
+    pub stall_node_limit: usize,
+    /// Enable the rounding/diving incumbent heuristic at the root.
+    pub use_heuristics: bool,
+    /// Optional warm incumbent (full variable assignment). When feasible,
+    /// it seeds the search: the solver then only returns something else
+    /// if it is strictly better, which is what makes steady-state
+    /// re-solves quiescent (paper Expression 1's purpose).
+    pub initial_incumbent: Option<Vec<f64>>,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        Self {
+            time_limit_seconds: 60.0,
+            max_nodes: 100_000,
+            rel_gap_tol: 1e-6,
+            abs_gap_tol: 1e-6,
+            int_tol: 1e-6,
+            max_lp_iterations: 200_000,
+            stall_node_limit: 0,
+            use_heuristics: true,
+            initial_incumbent: None,
+        }
+    }
+}
+
+impl SolveConfig {
+    /// A config with a hard time limit, as RAS phase 1 uses (Section 4.1.2).
+    pub fn with_time_limit(seconds: f64) -> Self {
+        Self {
+            time_limit_seconds: seconds,
+            ..Self::default()
+        }
+    }
+}
+
+/// A MIP solution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Final status.
+    pub status: Status,
+    /// Objective value of the incumbent (meaningful for `Optimal`/`Feasible`).
+    pub objective: f64,
+    /// Values of the model's structural variables.
+    pub values: Vec<f64>,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Value of one variable.
+    pub fn value(&self, var: crate::expr::Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of one variable rounded to the nearest integer.
+    pub fn int_value(&self, var: crate::expr::Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// True when the solve produced a usable assignment.
+    pub fn is_usable(&self) -> bool {
+        matches!(self.status, Status::Optimal | Status::Feasible)
+    }
+}
+
+/// Errors from a MIP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The model has no feasible assignment.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Limits hit before any feasible point was found.
+    NoIncumbent,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::NoIncumbent => {
+                write!(f, "limits reached before a feasible solution was found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SolveConfig::default();
+        assert!(c.time_limit_seconds > 0.0);
+        assert!(c.int_tol < 1e-3);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(SolveError::Infeasible.to_string(), "model is infeasible");
+    }
+
+    #[test]
+    fn usable_statuses() {
+        let mk = |status| Solution {
+            status,
+            objective: 0.0,
+            values: vec![],
+            stats: SolveStats::default(),
+        };
+        assert!(mk(Status::Optimal).is_usable());
+        assert!(mk(Status::Feasible).is_usable());
+        assert!(!mk(Status::Infeasible).is_usable());
+    }
+}

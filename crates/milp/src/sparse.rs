@@ -1,0 +1,150 @@
+//! Compressed sparse column (CSC) matrix used by the simplex engine.
+
+use serde::{Deserialize, Serialize};
+
+/// A read-only CSC matrix.
+///
+/// Columns are contiguous `(row, value)` runs; the simplex engine iterates
+/// columns during pricing (`d_j = c_j − yᵀA_j`) and FTRAN.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_starts: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from per-column `(row, value)` lists.
+    ///
+    /// Entries within a column need not be sorted; duplicates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn from_columns(rows: usize, columns: &[Vec<(usize, f64)>]) -> Self {
+        let mut col_starts = Vec::with_capacity(columns.len() + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_starts.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for col in columns {
+            scratch.clear();
+            scratch.extend_from_slice(col);
+            scratch.sort_unstable_by_key(|(r, _)| *r);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(scratch.len());
+            for &(r, v) in &scratch {
+                assert!(r < rows, "row index {r} out of range ({rows} rows)");
+                match merged.last_mut() {
+                    Some((lr, lv)) if *lr == r => *lv += v,
+                    _ => merged.push((r, v)),
+                }
+            }
+            for (r, v) in merged {
+                if v != 0.0 {
+                    row_idx.push(r as u32);
+                    values.push(v);
+                }
+            }
+            col_starts.push(row_idx.len());
+        }
+        Self {
+            rows,
+            cols: columns.len(),
+            col_starts,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates the `(row, value)` entries of one column.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.col_starts[col];
+        let end = self.col_starts[col + 1];
+        self.row_idx[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(r, v)| (*r as usize, *v))
+    }
+
+    /// Computes the dot product `yᵀ A_j` for one column.
+    pub fn column_dot(&self, col: usize, y: &[f64]) -> f64 {
+        self.column(col).map(|(r, v)| v * y[r]).sum()
+    }
+
+    /// Scatters one column into a dense vector: `out += scale * A_j`.
+    pub fn scatter_column(&self, col: usize, scale: f64, out: &mut [f64]) {
+        for (r, v) in self.column(col) {
+            out[r] += scale * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        CscMatrix::from_columns(
+            2,
+            &[vec![(0, 1.0)], vec![(1, 3.0)], vec![(0, 2.0)]],
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn column_iteration() {
+        let m = sample();
+        let col: Vec<_> = m.column(2).collect();
+        assert_eq!(col, vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_zeros_dropped() {
+        let m = CscMatrix::from_columns(2, &[vec![(0, 1.0), (0, 2.0), (1, 5.0), (1, -5.0)]]);
+        let col: Vec<_> = m.column(0).collect();
+        assert_eq!(col, vec![(0, 3.0)]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn dot_and_scatter() {
+        let m = sample();
+        assert_eq!(m.column_dot(0, &[2.0, 7.0]), 2.0);
+        assert_eq!(m.column_dot(1, &[2.0, 7.0]), 21.0);
+        let mut out = vec![0.0; 2];
+        m.scatter_column(2, 2.0, &mut out);
+        assert_eq!(out, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_row_panics() {
+        CscMatrix::from_columns(1, &[vec![(1, 1.0)]]);
+    }
+}

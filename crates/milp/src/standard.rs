@@ -1,0 +1,125 @@
+//! Conversion of a [`Model`] to computational standard form.
+//!
+//! Standard form is `A x = b`, `l <= x <= u`, minimize `cᵀx`, where `x`
+//! stacks the structural variables followed by one slack per row. Slack
+//! bounds encode the original constraint sense:
+//!
+//! * `expr <= rhs`  →  slack ∈ `[0, +inf)`
+//! * `expr >= rhs`  →  slack ∈ `(-inf, 0]`
+//! * `expr == rhs`  →  slack ∈ `[0, 0]`
+//!
+//! The matrix is built once per model and shared across all
+//! branch-and-bound nodes; nodes only override variable bounds.
+
+use crate::model::{Model, Sense};
+use crate::sparse::CscMatrix;
+
+/// A model in computational standard form.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of structural (original) variables `n`.
+    pub num_structural: usize,
+    /// Number of rows `m` (one per constraint).
+    pub num_rows: usize,
+    /// Constraint matrix of shape `m × (n + m)` including slack columns.
+    pub matrix: CscMatrix,
+    /// Objective costs for all `n + m` columns (slacks cost 0).
+    pub costs: Vec<f64>,
+    /// Default lower bounds for all `n + m` columns.
+    pub lower: Vec<f64>,
+    /// Default upper bounds for all `n + m` columns.
+    pub upper: Vec<f64>,
+    /// Right-hand side `b`.
+    pub rhs: Vec<f64>,
+    /// Constant added to the objective (from the model's objective constant).
+    pub obj_constant: f64,
+}
+
+impl StandardForm {
+    /// Builds the standard form of a model.
+    pub fn from_model(model: &Model) -> Self {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n + m];
+        let mut rhs = Vec::with_capacity(m);
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        for info in model.vars() {
+            lower.push(info.lower);
+            upper.push(info.upper);
+        }
+        for (row, c) in model.constraints().iter().enumerate() {
+            for &(var, coeff) in &c.expr.terms {
+                columns[var.index()].push((row, coeff));
+            }
+            // Slack column: identity.
+            columns[n + row].push((row, 1.0));
+            rhs.push(c.rhs);
+            let (sl, su) = match c.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lower.push(sl);
+            upper.push(su);
+        }
+        let mut costs = vec![0.0; n + m];
+        for &(var, coeff) in &model.objective().terms {
+            costs[var.index()] += coeff;
+        }
+        Self {
+            num_structural: n,
+            num_rows: m,
+            matrix: CscMatrix::from_columns(m, &columns),
+            costs,
+            lower,
+            upper,
+            rhs,
+            obj_constant: model.objective().constant,
+        }
+    }
+
+    /// Total number of columns (`n + m`).
+    pub fn num_cols(&self) -> usize {
+        self.num_structural + self.num_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense, VarType};
+
+    #[test]
+    fn slack_bounds_encode_sense() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("le", LinExpr::from(x), Sense::Le, 1.0);
+        m.add_constraint("ge", LinExpr::from(x), Sense::Ge, 0.5);
+        m.add_constraint("eq", LinExpr::from(x), Sense::Eq, 0.7);
+        let sf = StandardForm::from_model(&m);
+        assert_eq!(sf.num_structural, 1);
+        assert_eq!(sf.num_rows, 3);
+        assert_eq!((sf.lower[1], sf.upper[1]), (0.0, f64::INFINITY));
+        assert_eq!((sf.lower[2], sf.upper[2]), (f64::NEG_INFINITY, 0.0));
+        assert_eq!((sf.lower[3], sf.upper[3]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn costs_and_matrix_layout() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("c", 2.0 * x + 3.0 * y, Sense::Le, 6.0);
+        m.set_objective(5.0 * x + LinExpr::constant(1.0));
+        let sf = StandardForm::from_model(&m);
+        assert_eq!(sf.costs, vec![5.0, 0.0, 0.0]);
+        assert_eq!(sf.obj_constant, 1.0);
+        assert_eq!(sf.rhs, vec![6.0]);
+        let col_x: Vec<_> = sf.matrix.column(0).collect();
+        assert_eq!(col_x, vec![(0, 2.0)]);
+        let slack: Vec<_> = sf.matrix.column(2).collect();
+        assert_eq!(slack, vec![(0, 1.0)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests: the exact solver must agree with brute force on
+//! randomly generated small integer programs, and every reported solution
+//! must satisfy the model it came from.
+
+use proptest::prelude::*;
+use ras_milp::{LinExpr, Model, Sense, SolveError, VarType};
+
+/// Brute-force optimum of a pure-integer model with small box bounds.
+///
+/// Returns `None` when no feasible point exists.
+fn brute_force(model: &Model) -> Option<f64> {
+    let n = model.num_vars();
+    let ranges: Vec<(i64, i64)> = model
+        .vars()
+        .iter()
+        .map(|v| (v.lower as i64, v.upper as i64))
+        .collect();
+    let mut best: Option<f64> = None;
+    let mut point = vec![0f64; n];
+    fn recurse(
+        model: &Model,
+        ranges: &[(i64, i64)],
+        point: &mut Vec<f64>,
+        depth: usize,
+        best: &mut Option<f64>,
+    ) {
+        if depth == ranges.len() {
+            if model.violations(point, 1e-6).is_empty() {
+                let obj = model.objective().eval(point);
+                if best.map_or(true, |b| obj < b) {
+                    *best = Some(obj);
+                }
+            }
+            return;
+        }
+        for v in ranges[depth].0..=ranges[depth].1 {
+            point[depth] = v as f64;
+            recurse(model, ranges, point, depth + 1, best);
+        }
+    }
+    recurse(model, &ranges, &mut point, 0, &mut best);
+    best
+}
+
+/// Strategy: a random small integer program with up to 4 vars and 4
+/// constraints, coefficients in [-5, 5], bounds in [0, 4].
+fn small_mip() -> impl Strategy<Value = Model> {
+    let coeff = -5..=5i32;
+    let n_vars = 1..=4usize;
+    let n_cons = 0..=4usize;
+    (n_vars, n_cons).prop_flat_map(move |(nv, nc)| {
+        let obj = prop::collection::vec(-5..=5i32, nv);
+        let cons = prop::collection::vec(
+            (prop::collection::vec(coeff.clone(), nv), 0..=2u8, -6..=12i32),
+            nc,
+        );
+        let uppers = prop::collection::vec(1..=4i32, nv);
+        (obj, cons, uppers).prop_map(move |(obj, cons, uppers)| {
+            let mut m = Model::new();
+            let vars: Vec<_> = uppers
+                .iter()
+                .enumerate()
+                .map(|(i, u)| m.add_var(format!("x{i}"), VarType::Integer, 0.0, *u as f64))
+                .collect();
+            for (ci, (coeffs, sense, rhs)) in cons.iter().enumerate() {
+                let expr = LinExpr::sum(
+                    vars.iter()
+                        .zip(coeffs)
+                        .map(|(v, c)| (*v, *c as f64)),
+                );
+                let sense = match sense {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                m.add_constraint(format!("c{ci}"), expr, sense, *rhs as f64);
+            }
+            m.set_objective(LinExpr::sum(
+                vars.iter().zip(&obj).map(|(v, c)| (*v, *c as f64)),
+            ));
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(model in small_mip()) {
+        let expected = brute_force(&model);
+        match model.solve() {
+            Ok(solution) => {
+                let expected = expected.expect("solver found solution where brute force found none");
+                prop_assert!(
+                    (solution.objective - expected).abs() < 1e-6,
+                    "solver {} != brute force {}", solution.objective, expected
+                );
+                prop_assert!(model.violations(&solution.values, 1e-6).is_empty());
+            }
+            Err(SolveError::Infeasible) => {
+                prop_assert!(expected.is_none(), "solver says infeasible, brute force found {expected:?}");
+            }
+            Err(e) => prop_assert!(false, "unexpected solver error: {e}"),
+        }
+    }
+
+    #[test]
+    fn local_search_solutions_are_feasible(model in small_mip()) {
+        let config = ras_milp::localsearch::LocalSearchConfig {
+            iterations: 30_000,
+            ..Default::default()
+        };
+        if let Ok(solution) = ras_milp::LocalSearch::new(config).solve(&model) {
+            prop_assert!(model.violations(&solution.values, 1e-6).is_empty());
+            // Local search can never beat the exact optimum.
+            if let Some(best) = brute_force(&model) {
+                prop_assert!(solution.objective >= best - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_mip(model in small_mip()) {
+        // The root LP relaxation objective must lower-bound the integer optimum.
+        let sf = ras_milp::standard::StandardForm::from_model(&model);
+        let lp = ras_milp::simplex::solve_lp(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &ras_milp::simplex::SimplexConfig::default(),
+        );
+        if lp.status == ras_milp::simplex::LpStatus::Optimal {
+            if let Ok(solution) = model.solve() {
+                prop_assert!(
+                    lp.objective <= solution.objective + 1e-6,
+                    "LP bound {} above MIP optimum {}", lp.objective, solution.objective
+                );
+            }
+        }
+    }
+}
+
+/// Random LP relaxations: warm-started re-solves after a bound change
+/// must agree with cold solves (that is the entire warm-start contract).
+#[test]
+fn warm_solve_matches_cold_on_random_lps() {
+    use ras_milp::simplex::{solve_lp, solve_lp_warm, SimplexConfig};
+    use ras_milp::standard::StandardForm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xC01D);
+    let mut checked = 0;
+    for case in 0..400 {
+        let nv = rng.gen_range(2..8);
+        let nc = rng.gen_range(1..8);
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..nv)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, rng.gen_range(1..9) as f64))
+            .collect();
+        for ci in 0..nc {
+            let expr = LinExpr::sum(vars.iter().map(|v| (*v, rng.gen_range(-4..5) as f64)));
+            let sense = match rng.gen_range(0..3) {
+                0 => Sense::Le,
+                1 => Sense::Ge,
+                _ => Sense::Eq,
+            };
+            m.add_constraint(format!("c{ci}"), expr, sense, rng.gen_range(-5..12) as f64);
+        }
+        m.set_objective(LinExpr::sum(
+            vars.iter().map(|v| (*v, rng.gen_range(-5..6) as f64)),
+        ));
+        let sf = StandardForm::from_model(&m);
+        let cfg = SimplexConfig::default();
+        let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        if base.status != ras_milp::simplex::LpStatus::Optimal {
+            continue;
+        }
+        // Perturb one variable bound, branch-and-bound style.
+        let j = rng.gen_range(0..nv);
+        let mut lower = sf.lower.clone();
+        let mut upper = sf.upper.clone();
+        if rng.gen::<bool>() {
+            lower[j] = (lower[j] + 1.0).min(upper[j]);
+        } else {
+            upper[j] = (upper[j] - 1.0).max(lower[j]);
+        }
+        let cold = solve_lp(&sf, &lower, &upper, &cfg);
+        let warm = solve_lp_warm(&sf, &lower, &upper, &cfg, base.basis.as_ref());
+        assert_eq!(
+            cold.status, warm.status,
+            "case {case}: status mismatch cold={:?} warm={:?}",
+            cold.status, warm.status
+        );
+        if cold.status == ras_milp::simplex::LpStatus::Optimal {
+            assert!(
+                (cold.objective - warm.objective).abs() < 1e-5,
+                "case {case}: cold {} vs warm {}",
+                cold.objective,
+                warm.objective
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "too few optimal cases exercised: {checked}");
+}

@@ -1,0 +1,21 @@
+//! The Online Mover (paper Figure 6, step 4, and Sections 3.2–3.4).
+//!
+//! The Mover materializes the Async Solver's target bindings — preempting
+//! containers, cleaning the host, applying the target reservation's host
+//! profile, and finally flipping the broker's `current` field. It also
+//! runs two fast paths off the solver's critical path:
+//!
+//! * **random-failure replacement** — on an unplanned server failure it
+//!   hands the impacted reservation a replacement from the shared buffer
+//!   within a minute;
+//! * **elastic loans** — idle buffer capacity is loaned to elastic
+//!   reservations and revoked (75 % immediately, 25 % within 30 minutes)
+//!   when failures need it back.
+
+pub mod elastic;
+pub mod log;
+pub mod mover;
+
+pub use elastic::ElasticManager;
+pub use log::{MoveLog, MoveRecord, MoveReason};
+pub use mover::{MoverConfig, OnlineMover};

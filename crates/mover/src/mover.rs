@@ -1,0 +1,360 @@
+//! Target execution and failure replacement.
+
+use ras_broker::{
+    EventNotice, ReservationId, ResourceBroker, SimTime, SubscriberId,
+};
+use ras_core::reservation::{ReservationKind, ReservationSpec};
+use ras_topology::{Region, ServerId};
+
+use crate::log::{MoveLog, MoveReason, MoveRecord};
+
+/// Mover tuning.
+#[derive(Debug, Clone)]
+pub struct MoverConfig {
+    /// Maximum target moves executed per cycle (production movers throttle
+    /// to bound preemption churn).
+    pub moves_per_cycle: usize,
+    /// Simulated seconds to provide a failure replacement (paper: < 1 min).
+    pub replacement_latency_secs: u64,
+}
+
+impl Default for MoverConfig {
+    fn default() -> Self {
+        Self {
+            moves_per_cycle: usize::MAX,
+            replacement_latency_secs: 60,
+        }
+    }
+}
+
+/// The Online Mover.
+#[derive(Debug)]
+pub struct OnlineMover {
+    config: MoverConfig,
+    subscriber: SubscriberId,
+    /// Executed-move log (Figure 16's data source).
+    pub log: MoveLog,
+}
+
+impl OnlineMover {
+    /// Creates a mover and subscribes it to broker events.
+    pub fn new(broker: &mut ResourceBroker, config: MoverConfig) -> Self {
+        Self {
+            config,
+            subscriber: broker.subscribe(),
+            log: MoveLog::new(),
+        }
+    }
+
+    /// Executes pending solver targets: for every server whose `target`
+    /// differs from `current`, preempt (via `preempt`, which the caller
+    /// wires to the Twine allocator), clean up, apply the host profile,
+    /// and flip the binding. Returns the number of moves executed.
+    pub fn execute_targets(
+        &mut self,
+        broker: &mut ResourceBroker,
+        at: SimTime,
+        mut preempt: impl FnMut(ServerId, &mut ResourceBroker),
+    ) -> usize {
+        let pending = broker.pending_moves();
+        let mut executed = 0;
+        for server in pending.into_iter().take(self.config.moves_per_cycle) {
+            let record = match broker.record(server) {
+                Ok(r) => r.clone(),
+                Err(_) => continue,
+            };
+            // Down servers cannot be reconfigured; the move waits.
+            if !record.is_up() {
+                continue;
+            }
+            let in_use = record.running_containers > 0;
+            if in_use {
+                // Preempt containers off the host (host cleanup + OS
+                // reconfiguration follow in the real system).
+                preempt(server, broker);
+            }
+            let target = record.target;
+            if broker.bind_current(server, target).is_err() {
+                continue;
+            }
+            self.log.push(MoveRecord {
+                server,
+                from: record.current,
+                to: target,
+                at,
+                in_use,
+                reason: MoveReason::SolverTarget,
+            });
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Drains unavailability notices and provides replacements for
+    /// *unplanned* single-server failures from the shared buffer (planned
+    /// events are pre-baked into embedded buffers and need no action;
+    /// correlated failures are absorbed by embedded buffers too).
+    ///
+    /// Returns `(failed, replacement)` pairs, each completed within
+    /// [`MoverConfig::replacement_latency_secs`] of the notice.
+    pub fn handle_failures(
+        &mut self,
+        region: &Region,
+        specs: &[ReservationSpec],
+        broker: &mut ResourceBroker,
+        at: SimTime,
+    ) -> Vec<(ServerId, ServerId)> {
+        let notices = broker.drain_events(self.subscriber);
+        let mut replacements = Vec::new();
+        for notice in notices {
+            let EventNotice::Down(event) = notice else {
+                continue;
+            };
+            if !event.kind.is_unplanned() {
+                continue;
+            }
+            let Ok(record) = broker.record(event.server) else {
+                continue;
+            };
+            let Some(impacted) = record.current else {
+                continue;
+            };
+            let Some(spec) = specs.get(impacted.index()) else {
+                continue;
+            };
+            if spec.kind != ReservationKind::Guaranteed {
+                continue;
+            }
+            if let Some(replacement) =
+                self.find_buffer_replacement(region, specs, broker, spec, event.server)
+            {
+                let done = at.plus_secs(self.config.replacement_latency_secs);
+                let from = broker.record(replacement).map(|r| r.current).unwrap_or(None);
+                if broker.bind_current(replacement, Some(impacted)).is_ok() {
+                    // The quick decision may be suboptimal; the next solve
+                    // is free to improve it (targets unchanged here).
+                    self.log.push(MoveRecord {
+                        server: replacement,
+                        from,
+                        to: Some(impacted),
+                        at: done,
+                        in_use: false,
+                        reason: MoveReason::FailureReplacement,
+                    });
+                    replacements.push((event.server, replacement));
+                }
+            }
+        }
+        replacements
+    }
+
+    /// Finds a healthy, idle server in a shared-buffer reservation (or
+    /// the free pool as a fallback) that the impacted workload can use —
+    /// preferring the same hardware type as the failed server.
+    fn find_buffer_replacement(
+        &self,
+        region: &Region,
+        specs: &[ReservationSpec],
+        broker: &ResourceBroker,
+        impacted_spec: &ReservationSpec,
+        failed: ServerId,
+    ) -> Option<ServerId> {
+        let failed_hw = region.server(failed).hardware;
+        let is_buffer = |r: Option<ReservationId>| match r {
+            Some(id) => specs
+                .get(id.index())
+                .is_some_and(|s| s.kind == ReservationKind::SharedBuffer),
+            None => false,
+        };
+        let mut fallback = None;
+        for (server, record) in broker.iter() {
+            if server == failed || !record.is_up() || record.running_containers > 0 {
+                continue;
+            }
+            let hw = region.server(server).hardware;
+            if !impacted_spec.rru.eligible(hw) {
+                continue;
+            }
+            let from_buffer = is_buffer(record.current);
+            let from_pool = record.current.is_none();
+            if !from_buffer && !from_pool {
+                continue;
+            }
+            if from_buffer && hw == failed_hw {
+                return Some(server); // Ideal: same type, from the buffer.
+            }
+            if fallback.is_none() && (from_buffer || from_pool) {
+                fallback = Some(server);
+            }
+        }
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_broker::{UnavailabilityEvent, UnavailabilityKind};
+    use ras_core::rru::RruTable;
+    use ras_topology::{RegionBuilder, RegionTemplate, ScopeId};
+
+    fn setup() -> (Region, ResourceBroker) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
+        let broker = ResourceBroker::new(region.server_count());
+        (region, broker)
+    }
+
+    #[test]
+    fn executes_pending_targets() {
+        let (_region, mut broker) = setup();
+        let r0 = broker.register_reservation("web");
+        let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        for i in 0..5 {
+            broker.set_target(ServerId(i), Some(r0)).unwrap();
+        }
+        let moved = mover.execute_targets(&mut broker, SimTime::ZERO, |_, _| {});
+        assert_eq!(moved, 5);
+        assert!(broker.pending_moves().is_empty());
+        assert_eq!(broker.member_count(r0), 5);
+        assert_eq!(mover.log.totals(), (0, 5));
+    }
+
+    #[test]
+    fn preempts_busy_servers_and_logs_in_use() {
+        let (_region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        let r1 = broker.register_reservation("b");
+        broker.bind_current(ServerId(0), Some(r0)).unwrap();
+        broker.set_running_containers(ServerId(0), 2).unwrap();
+        let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        broker.set_target(ServerId(0), Some(r1)).unwrap();
+        let mut preempted = Vec::new();
+        mover.execute_targets(&mut broker, SimTime::ZERO, |s, _| preempted.push(s));
+        assert_eq!(preempted, vec![ServerId(0)]);
+        assert_eq!(mover.log.totals(), (1, 0));
+        assert_eq!(broker.record(ServerId(0)).unwrap().current, Some(r1));
+    }
+
+    #[test]
+    fn throttles_moves_per_cycle() {
+        let (_region, mut broker) = setup();
+        let r0 = broker.register_reservation("web");
+        let mut mover = OnlineMover::new(
+            &mut broker,
+            MoverConfig {
+                moves_per_cycle: 3,
+                ..MoverConfig::default()
+            },
+        );
+        for i in 0..10 {
+            broker.set_target(ServerId(i), Some(r0)).unwrap();
+        }
+        assert_eq!(
+            mover.execute_targets(&mut broker, SimTime::ZERO, |_, _| {}),
+            3
+        );
+        assert_eq!(broker.pending_moves().len(), 7);
+    }
+
+    #[test]
+    fn down_servers_wait_for_recovery() {
+        let (_region, mut broker) = setup();
+        let r0 = broker.register_reservation("web");
+        let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        broker.set_target(ServerId(0), Some(r0)).unwrap();
+        broker
+            .mark_down(UnavailabilityEvent {
+                server: ServerId(0),
+                kind: UnavailabilityKind::UnplannedHardware,
+                scope: ScopeId::Server(ServerId(0)),
+                start: SimTime::ZERO,
+                expected_end: None,
+            })
+            .unwrap();
+        assert_eq!(
+            mover.execute_targets(&mut broker, SimTime::ZERO, |_, _| {}),
+            0
+        );
+        assert_eq!(broker.pending_moves().len(), 1, "move stays pending");
+    }
+
+    #[test]
+    fn unplanned_failure_gets_buffer_replacement() {
+        let (region, mut broker) = setup();
+        let specs = vec![
+            ras_core::ReservationSpec::guaranteed(
+                "web",
+                5.0,
+                RruTable::uniform(&region.catalog, 1.0),
+            ),
+            ras_core::ReservationSpec::shared_buffer(
+                "buffer",
+                3.0,
+                RruTable::uniform(&region.catalog, 1.0),
+            ),
+        ];
+        let web = broker.register_reservation("web");
+        let buf = broker.register_reservation("buffer");
+        let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        for i in 0..5 {
+            broker.bind_current(ServerId(i), Some(web)).unwrap();
+        }
+        for i in 5..8 {
+            broker.bind_current(ServerId(i), Some(buf)).unwrap();
+        }
+        broker
+            .mark_down(UnavailabilityEvent {
+                server: ServerId(2),
+                kind: UnavailabilityKind::UnplannedHardware,
+                scope: ScopeId::Server(ServerId(2)),
+                start: SimTime::from_minutes(10),
+                expected_end: None,
+            })
+            .unwrap();
+        let replacements =
+            mover.handle_failures(&region, &specs, &mut broker, SimTime::from_minutes(10));
+        assert_eq!(replacements.len(), 1);
+        let (failed, replacement) = replacements[0];
+        assert_eq!(failed, ServerId(2));
+        // The replacement joined the impacted reservation within a minute.
+        assert_eq!(broker.record(replacement).unwrap().current, Some(web));
+        let last = *mover.log.records().last().unwrap();
+        assert_eq!(last.reason, MoveReason::FailureReplacement);
+        assert!(last.at.since(SimTime::from_minutes(10)) <= 60);
+    }
+
+    #[test]
+    fn planned_and_correlated_events_need_no_replacement() {
+        let (region, mut broker) = setup();
+        let specs = vec![ras_core::ReservationSpec::guaranteed(
+            "web",
+            5.0,
+            RruTable::uniform(&region.catalog, 1.0),
+        )];
+        let web = broker.register_reservation("web");
+        let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        broker.bind_current(ServerId(0), Some(web)).unwrap();
+        for kind in [
+            UnavailabilityKind::PlannedMaintenance,
+            UnavailabilityKind::CorrelatedFailure,
+        ] {
+            broker
+                .mark_down(UnavailabilityEvent {
+                    server: ServerId(0),
+                    kind,
+                    scope: ScopeId::Server(ServerId(0)),
+                    start: SimTime::ZERO,
+                    expected_end: None,
+                })
+                .unwrap();
+            let replacements =
+                mover.handle_failures(&region, &specs, &mut broker, SimTime::ZERO);
+            assert!(
+                replacements.is_empty(),
+                "{kind:?} must be absorbed by embedded buffers"
+            );
+            broker.mark_up(ServerId(0), SimTime::ZERO).unwrap();
+            let _ = broker.drain_events(mover.subscriber);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Concretization: turning class counts back into per-server targets.
+//!
+//! The MIP decides *how many* servers of each equivalence class go to
+//! each reservation; this module decides *which ones*. Selection rules:
+//!
+//! 1. members already bound to the reservation stay (no move);
+//! 2. remaining slots are filled from unclaimed members, preferring racks
+//!    where the reservation currently has the least capacity, which
+//!    realizes the rack spread that phase 1 never saw.
+
+use std::collections::HashMap;
+
+use ras_broker::{BrokerSnapshot, ReservationId};
+use ras_topology::{Region, ServerId};
+
+use crate::classes::EquivClass;
+
+/// Applies class counts to servers, producing a full target assignment.
+///
+/// `counts[class][reservation]` comes from [`RasModel::decode`]. Servers
+/// outside every class (unavailable ones) keep their current binding.
+///
+/// [`RasModel::decode`]: crate::model::RasModel::decode
+pub fn concretize(
+    region: &Region,
+    snapshot: &BrokerSnapshot,
+    classes: &[EquivClass],
+    counts: &[Vec<usize>],
+    reservations: usize,
+) -> Vec<Option<ReservationId>> {
+    // Default: keep whatever the server is currently bound to.
+    let mut targets: Vec<Option<ReservationId>> = (0..region.server_count())
+        .map(|i| snapshot.records[i].current)
+        .collect();
+    // Per-(rack, reservation) RRU-ish load used for spread-aware picks.
+    let mut rack_load: HashMap<(u32, u32), usize> = HashMap::new();
+    for server in region.servers() {
+        if let Some(r) = snapshot.records[server.id.index()].current {
+            *rack_load.entry((server.rack.0, r.0)).or_default() += 1;
+        }
+    }
+
+    for (ci, class) in classes.iter().enumerate() {
+        // Every class member is reassigned from scratch below.
+        let mut unclaimed: Vec<ServerId> = class.servers.clone();
+        for s in &unclaimed {
+            targets[s.index()] = None;
+        }
+        // Pass 1: keep members already in the right reservation.
+        let mut needs: Vec<(usize, usize)> = Vec::new();
+        for ri in 0..reservations {
+            let mut need = counts[ci].get(ri).copied().unwrap_or(0).min(class.count());
+            if need == 0 {
+                continue;
+            }
+            let res = ReservationId::from_index(ri);
+            if class.current == Some(res) {
+                let keep = need.min(unclaimed.len());
+                for s in unclaimed.drain(..keep) {
+                    targets[s.index()] = Some(res);
+                }
+                need -= keep;
+            }
+            if need > 0 {
+                needs.push((ri, need));
+            }
+        }
+        // Pass 2: fill remaining demand, preferring least-loaded racks.
+        for (ri, need) in needs {
+            let res = ReservationId::from_index(ri);
+            for _ in 0..need {
+                let Some(best_pos) = unclaimed
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| {
+                        let rack = region.server(**s).rack.0;
+                        (
+                            rack_load.get(&(rack, ri as u32)).copied().unwrap_or(0),
+                            s.index(),
+                        )
+                    })
+                    .map(|(pos, _)| pos)
+                else {
+                    break;
+                };
+                let s = unclaimed.swap_remove(best_pos);
+                targets[s.index()] = Some(res);
+                let rack = region.server(s).rack.0;
+                *rack_load.entry((rack, ri as u32)).or_default() += 1;
+            }
+        }
+        // Whatever is left becomes free-pool capacity (target None).
+    }
+    targets
+}
+
+/// Move statistics between a current binding and a target assignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoveStats {
+    /// Moves of servers with running containers (preemptions).
+    pub in_use: usize,
+    /// Moves of idle servers.
+    pub unused: usize,
+}
+
+impl MoveStats {
+    /// Total moves.
+    pub fn total(&self) -> usize {
+        self.in_use + self.unused
+    }
+}
+
+/// Counts planned moves: servers whose target differs from their current
+/// binding and that are currently bound somewhere.
+pub fn count_moves(snapshot: &BrokerSnapshot, targets: &[Option<ReservationId>]) -> MoveStats {
+    let mut stats = MoveStats::default();
+    for (i, record) in snapshot.records.iter().enumerate() {
+        if record.current.is_some() && targets[i] != record.current {
+            if record.running_containers > 0 {
+                stats.in_use += 1;
+            } else {
+                stats.unused += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{build_classes, Granularity};
+    use ras_broker::{ResourceBroker, SimTime};
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn setup() -> (Region, ResourceBroker) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
+        let broker = ResourceBroker::new(region.server_count());
+        (region, broker)
+    }
+
+    #[test]
+    fn exact_counts_are_realized() {
+        let (region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        let snap = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snap, Granularity::Msb, None);
+        // Ask for 3 servers from every class.
+        let counts: Vec<Vec<usize>> = classes.iter().map(|c| vec![c.count().min(3)]).collect();
+        let targets = concretize(&region, &snap, &classes, &counts, 1);
+        let assigned = targets.iter().filter(|t| **t == Some(r0)).count();
+        let expected: usize = counts.iter().map(|row| row[0]).sum();
+        assert_eq!(assigned, expected);
+    }
+
+    #[test]
+    fn existing_members_are_kept_first() {
+        let (region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        // Bind the first whole class's worth of servers.
+        let snap0 = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snap0, Granularity::Msb, None);
+        let class = &classes[0];
+        for s in &class.servers {
+            broker.bind_current(*s, Some(r0)).unwrap();
+        }
+        let snap = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snap, Granularity::Msb, None);
+        // Find the class that now has current == r0; keep all but one.
+        let (ci, class) = classes
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.current == Some(r0))
+            .unwrap();
+        let mut counts: Vec<Vec<usize>> = classes.iter().map(|_| vec![0]).collect();
+        counts[ci][0] = class.count() - 1;
+        let targets = concretize(&region, &snap, &classes, &counts, 1);
+        let kept = class
+            .servers
+            .iter()
+            .filter(|s| targets[s.index()] == Some(r0))
+            .count();
+        assert_eq!(kept, class.count() - 1);
+        let moves = count_moves(&snap, &targets);
+        assert_eq!(moves.total(), 1, "exactly the one surplus server moves out");
+    }
+
+    #[test]
+    fn unavailable_servers_keep_current_binding() {
+        let (region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        let victim = ServerId(5);
+        broker.bind_current(victim, Some(r0)).unwrap();
+        broker
+            .mark_down(ras_broker::UnavailabilityEvent {
+                server: victim,
+                kind: ras_broker::UnavailabilityKind::UnplannedHardware,
+                scope: ras_topology::ScopeId::Server(victim),
+                start: SimTime::ZERO,
+                expected_end: None,
+            })
+            .unwrap();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snap, Granularity::Msb, None);
+        let counts: Vec<Vec<usize>> = classes.iter().map(|_| vec![0]).collect();
+        let targets = concretize(&region, &snap, &classes, &counts, 1);
+        assert_eq!(targets[victim.index()], Some(r0));
+    }
+
+    #[test]
+    fn new_assignments_spread_across_racks() {
+        let (region, broker) = setup();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snap, Granularity::Msb, None);
+        // Pick the largest class (spanning several racks) and assign half.
+        let (ci, class) = classes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.count())
+            .unwrap();
+        let take = class.count() / 2;
+        let mut counts: Vec<Vec<usize>> = classes.iter().map(|_| vec![0]).collect();
+        counts[ci][0] = take;
+        let targets = concretize(&region, &snap, &classes, &counts, 1);
+        let mut per_rack: HashMap<u32, usize> = HashMap::new();
+        for s in &class.servers {
+            if targets[s.index()].is_some() {
+                *per_rack.entry(region.server(*s).rack.0).or_default() += 1;
+            }
+        }
+        if per_rack.len() > 1 {
+            let max = per_rack.values().max().unwrap();
+            let min = per_rack.values().min().unwrap();
+            assert!(max - min <= 1, "round-robin rack spread expected: {per_rack:?}");
+        }
+    }
+
+    #[test]
+    fn move_stats_classify_in_use() {
+        let (region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        broker.bind_current(ServerId(0), Some(r0)).unwrap();
+        broker.bind_current(ServerId(1), Some(r0)).unwrap();
+        broker.set_running_containers(ServerId(0), 2).unwrap();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let mut targets: Vec<Option<ReservationId>> =
+            (0..region.server_count()).map(|_| None).collect();
+        targets[2] = Some(r0); // New binding: not a move (current is None).
+        let moves = count_moves(&snap, &targets);
+        assert_eq!(moves.in_use, 1);
+        assert_eq!(moves.unused, 1);
+        assert_eq!(moves.total(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! RAS core: continuously optimized region-wide server-to-reservation
+//! assignment (the paper's primary contribution).
+//!
+//! A *reservation* is a logical cluster with guaranteed capacity expressed
+//! in relative resource units (RRUs). The [`solver::AsyncSolver`] takes a
+//! broker snapshot of the whole region, formulates the assignment as a
+//! mixed-integer program (Section 3.5.3 of the paper), reduces it by
+//! grouping symmetric servers into equivalence classes (Section 3.5.2),
+//! solves it in two phases (region-wide without rack goals, then rack
+//! goals for the worst reservations), and emits per-server *target*
+//! bindings that the Online Mover materializes.
+//!
+//! Module map:
+//!
+//! * [`reservation`] — reservation specs, spread policies, affinity;
+//! * [`rru`] — relative-resource-unit tables;
+//! * [`params`] — the MIP weights of Table 1 (`Ms`, `β`, `τ`, `αK`, `αF`, `θ`);
+//! * [`classes`] — symmetric-server equivalence-class reduction;
+//! * [`model`] — the MIP build (Expressions 1–7) with constraint softening;
+//! * [`assign`] — concretization of class counts into per-server targets;
+//! * [`phases`] — the two-phase solve orchestration;
+//! * [`solver`] — the Async Solver facade writing targets to the broker;
+//! * [`baseline`] — Twine's previous greedy assignment (evaluation baseline);
+//! * [`buffers`] — failure-buffer sizing and accounting;
+//! * [`emergency`] — the out-of-band emergency allocation path;
+//! * [`stats`] — per-phase timing/size breakdowns (Figures 8, 10, 11).
+
+pub mod assign;
+pub mod baseline;
+pub mod buffers;
+pub mod classes;
+pub mod emergency;
+pub mod error;
+pub mod explain;
+pub mod heuristic;
+pub mod model;
+pub mod params;
+pub mod phases;
+pub mod reservation;
+pub mod rru;
+pub mod solver;
+pub mod stacking;
+pub mod stats;
+
+pub use error::CoreError;
+pub use params::SolverParams;
+pub use reservation::{
+    DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy,
+};
+pub use rru::RruTable;
+pub use solver::{AsyncSolver, SolveOutput};

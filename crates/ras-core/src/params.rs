@@ -1,0 +1,96 @@
+//! Solver parameters: the cost coefficients of Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights and limits of the RAS MIP (paper Table 1 and Section 4.6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverParams {
+    /// Movement cost `Ms` for a server with running containers.
+    pub move_cost_in_use: f64,
+    /// Movement cost `Ms` for an idle server — the paper uses a 10×
+    /// smaller penalty "since their moves are virtually free".
+    pub move_cost_unused: f64,
+    /// Bonus for following through on a move already planned by the
+    /// previous solve ("maintain the same move in the current solve",
+    /// Section 3.5.1). Must be smaller than any movement cost.
+    pub stability_bonus: f64,
+    /// Cost `β` per RRU exceeding a spread threshold.
+    pub spread_penalty: f64,
+    /// Cost `τ` per RRU of correlated-failure buffer (the per-reservation
+    /// maximum MSB usage of Expression 4).
+    pub buffer_cost: f64,
+    /// Penalty per RRU of softened-constraint slack; "high-priority
+    /// objectives associated with fixing as many constraints as possible"
+    /// — set well above every other coefficient.
+    pub soften_penalty: f64,
+    /// Default `αF` (MSB share limit) when a spec does not set one.
+    pub default_msb_share: f64,
+    /// Default `αK` (rack share limit) when a spec does not set one.
+    pub default_rack_share: f64,
+    /// Assignment-variable budget for one MIP (the paper found ≈10 M to
+    /// be the practical upper limit; scaled down for this reproduction).
+    pub max_assignment_vars: usize,
+    /// Fraction of reservations phase 2 may refine (paper: 10 %).
+    pub phase2_reservation_fraction: f64,
+    /// Wall-clock budget per phase in seconds.
+    pub phase_time_limit: f64,
+    /// Relative MIP gap at which a solve counts as done. Production RAS
+    /// stops well short of proven optimality (Figure 9): gaps below the
+    /// smallest meaningful cost difference change nothing operationally.
+    pub mip_rel_gap: f64,
+    /// Absolute MIP gap at which a solve counts as done; set just below
+    /// the smallest objective coefficient (the stability bonus).
+    pub mip_abs_gap: f64,
+    /// Give up proving optimality after this many nodes without bound
+    /// improvement (the incumbent is kept; its gap is reported).
+    pub stall_node_limit: usize,
+    /// Tiny cost per assigned server. Acquiring a free server is
+    /// otherwise free, which creates over-allocation among alternative
+    /// optima — surplus the *next* solve would shed as churn. The epsilon
+    /// pins the minimal allocation without influencing any real
+    /// trade-off (it is far below every other coefficient).
+    pub assignment_cost: f64,
+}
+
+impl Default for SolverParams {
+    fn default() -> Self {
+        Self {
+            move_cost_in_use: 100.0,
+            move_cost_unused: 10.0,
+            stability_bonus: 1.0,
+            spread_penalty: 50.0,
+            buffer_cost: 5.0,
+            soften_penalty: 10_000.0,
+            default_msb_share: 0.10,
+            default_rack_share: 0.05,
+            max_assignment_vars: 2_000_000,
+            phase2_reservation_fraction: 0.10,
+            phase_time_limit: 15.0,
+            mip_rel_gap: 1e-4,
+            mip_abs_gap: 0.9,
+            stall_node_limit: 48,
+            assignment_cost: 0.01,
+        }
+    }
+}
+
+impl SolverParams {
+    /// The in-use/unused cost ratio (paper: 10×).
+    pub fn move_cost_ratio(&self) -> f64 {
+        self.move_cost_in_use / self.move_cost_unused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let p = SolverParams::default();
+        assert_eq!(p.move_cost_ratio(), 10.0);
+        assert!(p.soften_penalty > p.move_cost_in_use);
+        assert!(p.stability_bonus < p.move_cost_unused);
+        assert_eq!(p.phase2_reservation_fraction, 0.10);
+    }
+}

@@ -1,0 +1,435 @@
+//! Two-phase solving (paper Section 3.5.2).
+//!
+//! Phase 1 solves the whole region *without rack goals*, which lets the
+//! symmetry reduction group servers MSB-wide and keeps the variable count
+//! tractable. Phase 2 re-solves *with* rack goals, restricted to the
+//! reservations with the worst rack-level objectives (up to a configured
+//! fraction and variable budget); every other reservation's assignment is
+//! frozen and its servers are excluded from the phase-2 universe.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use ras_broker::{BrokerSnapshot, ReservationId};
+use ras_milp::{SolveConfig, SolveError};
+use ras_topology::{Region, ServerId};
+
+use crate::assign::concretize;
+use crate::classes::{build_classes, Granularity};
+use crate::error::CoreError;
+use crate::model::{build_model, soften_baseline, solver_visible};
+use crate::params::SolverParams;
+use crate::reservation::{ReservationKind, ReservationSpec};
+use crate::stats::PhaseStats;
+
+/// Result of the two-phase solve.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseOutcome {
+    /// Final per-server targets.
+    pub targets: Vec<Option<ReservationId>>,
+    /// Phase-1 statistics.
+    pub phase1: PhaseStats,
+    /// Phase-2 statistics (absent when no reservation needed rack work).
+    pub phase2: Option<PhaseStats>,
+}
+
+/// Runs both phases and returns the merged target assignment.
+pub fn solve_two_phase(
+    region: &Region,
+    specs: &[ReservationSpec],
+    snapshot: &BrokerSnapshot,
+    params: &SolverParams,
+) -> Result<TwoPhaseOutcome, CoreError> {
+    let (targets1, phase1) = run_phase(
+        region,
+        specs,
+        snapshot,
+        params,
+        Granularity::Msb,
+        false,
+        None,
+    )?;
+
+    // Rank reservations by rack overage under the phase-1 assignment.
+    let overages = rack_overages(region, specs, &targets1, params);
+    let visible = specs.iter().filter(|s| solver_visible(s)).count();
+    let budget = ((visible as f64 * params.phase2_reservation_fraction).ceil() as usize).max(1);
+    let mut selected: Vec<usize> = overages
+        .iter()
+        .filter(|(_, o)| *o > 1e-9)
+        .map(|(ri, _)| *ri)
+        .take(budget)
+        .collect();
+    if selected.is_empty() {
+        return Ok(TwoPhaseOutcome {
+            targets: targets1,
+            phase1,
+            phase2: None,
+        });
+    }
+
+    // Respect the assignment-variable budget by shrinking the selection.
+    loop {
+        let universe = phase2_universe(&targets1, &selected);
+        let class_estimate = estimate_rack_classes(region, snapshot, &universe);
+        if class_estimate * selected.len() <= params.max_assignment_vars || selected.len() == 1 {
+            break;
+        }
+        selected.pop();
+    }
+
+    // Phase-2 inputs: stability pulls toward the phase-1 plan; unselected
+    // reservations become invisible and their servers leave the universe.
+    let selected_set: HashSet<usize> = selected.iter().copied().collect();
+    let mut snapshot2 = snapshot.clone();
+    for (i, t) in targets1.iter().enumerate() {
+        snapshot2.records[i].target = *t;
+    }
+    let mut specs2 = specs.to_vec();
+    for (ri, spec) in specs2.iter_mut().enumerate() {
+        if !selected_set.contains(&ri) {
+            spec.kind = ReservationKind::Elastic; // Invisible to the model.
+        }
+    }
+    let universe = phase2_universe(&targets1, &selected);
+    match run_phase(
+        region,
+        &specs2,
+        &snapshot2,
+        params,
+        Granularity::Rack,
+        true,
+        Some(&universe),
+    ) {
+        Ok((targets2, phase2)) => {
+            // Merge: phase 2 only rules over its own universe.
+            let mut merged = targets1;
+            for (i, t) in targets2.iter().enumerate() {
+                if universe.contains(&ServerId::from_index(i)) {
+                    merged[i] = *t;
+                }
+            }
+            Ok(TwoPhaseOutcome {
+                targets: merged,
+                phase1,
+                phase2: Some(phase2),
+            })
+        }
+        // Phase 2 is an optimization pass: on failure keep phase-1 output.
+        Err(_) => Ok(TwoPhaseOutcome {
+            targets: targets1,
+            phase1,
+            phase2: None,
+        }),
+    }
+}
+
+/// Runs a single phase: classes → model → solve (softening on demand) →
+/// concretize.
+#[allow(clippy::type_complexity)]
+pub fn run_phase(
+    region: &Region,
+    specs: &[ReservationSpec],
+    snapshot: &BrokerSnapshot,
+    params: &SolverParams,
+    granularity: Granularity,
+    rack_goals: bool,
+    universe: Option<&HashSet<ServerId>>,
+) -> Result<(Vec<Option<ReservationId>>, PhaseStats), CoreError> {
+    let phase_start = Instant::now();
+    let filter = universe.map(|u| {
+        let u = u.clone();
+        move |s: ServerId| u.contains(&s)
+    });
+    let filter_dyn: Option<&dyn Fn(ServerId) -> bool> =
+        filter.as_ref().map(|f| f as &dyn Fn(ServerId) -> bool);
+
+    let build_start = Instant::now();
+    let classes = build_classes(region, snapshot, granularity, filter_dyn);
+    let mut ras = build_model(region, specs, &classes, params, rack_goals, None);
+    let warm = best_incumbent(&ras, region, specs, &classes, params);
+    let mut ras_build_seconds = build_start.elapsed().as_secs_f64();
+
+    let mut config = SolveConfig {
+        time_limit_seconds: params.phase_time_limit,
+        rel_gap_tol: params.mip_rel_gap,
+        abs_gap_tol: params.mip_abs_gap,
+        stall_node_limit: params.stall_node_limit,
+        initial_incumbent: Some(warm),
+        ..SolveConfig::default()
+    };
+    let mut solution = ras.model.solve_with(&config);
+    if matches!(
+        solution,
+        Err(SolveError::Infeasible) | Err(SolveError::NoIncumbent)
+    ) {
+        // Soften: no constraint may regress beyond its current violation.
+        // (A NoIncumbent timeout also lands here: the softened model
+        // always contains the current assignment as a feasible point, so
+        // its heuristics cannot come up empty.)
+        let soften_start = Instant::now();
+        let baseline = soften_baseline(region, specs, &classes);
+        ras = build_model(region, specs, &classes, params, rack_goals, Some(&baseline));
+        ras_build_seconds += soften_start.elapsed().as_secs_f64();
+        config.initial_incumbent =
+            Some(best_incumbent(&ras, region, specs, &classes, params));
+        solution = ras.model.solve_with(&config);
+        if matches!(solution, Err(SolveError::Infeasible)) {
+            // Cannot happen when the current assignment is well formed —
+            // surface the shortfalls for actionability.
+            let shortfalls = baseline
+                .capacity_shortfall
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s > 0.0)
+                .map(|(ri, s)| (ReservationId::from_index(ri), *s))
+                .collect();
+            return Err(CoreError::CapacityUnavailable { shortfalls });
+        }
+    }
+    let solution = solution.map_err(|e| CoreError::Solver(e.to_string()))?;
+    let counts = ras.decode(&solution);
+    let targets = concretize(region, snapshot, &classes, &counts, specs.len());
+
+    let stats = PhaseStats {
+        ras_build_seconds,
+        solver_build_seconds: solution.stats.setup_seconds,
+        initial_state_seconds: solution.stats.root_lp_seconds,
+        mip_seconds: solution.stats.mip_seconds,
+        total_seconds: phase_start.elapsed().as_secs_f64(),
+        assignment_vars: ras.assignment_var_count,
+        classes: classes.len(),
+        memory_bytes: ras.model.memory_estimate_bytes(),
+        mip_stats: solution.stats.clone(),
+        softened: ras.softened.clone(),
+    };
+    Ok((targets, stats))
+}
+
+/// Picks the best valid warm incumbent for a built model: the current
+/// assignment and the greedy spread-aware construction are both valued
+/// and validated; the cheaper valid one wins (in a softened model the
+/// do-nothing point is always valid but pays the full softening penalty,
+/// so the greedy construction usually dominates it).
+fn best_incumbent(
+    ras: &crate::model::RasModel,
+    region: &Region,
+    specs: &[ReservationSpec],
+    classes: &[crate::classes::EquivClass],
+    params: &SolverParams,
+) -> Vec<f64> {
+    let current = ras.initial.clone();
+    let greedy = ras.incumbent_from_counts(&crate::heuristic::greedy_counts(
+        region, specs, classes, params,
+    ));
+    let score = |v: &Vec<f64>| -> Option<f64> {
+        ras.model
+            .violations(v, 1e-6)
+            .is_empty()
+            .then(|| ras.model.objective().eval(v))
+    };
+    match (score(&current), score(&greedy)) {
+        (Some(a), Some(b)) if b < a => greedy,
+        (Some(_), _) => current,
+        (None, Some(_)) => greedy,
+        (None, None) => current,
+    }
+}
+
+/// Rack-overage score per reservation under an assignment: total RRUs
+/// beyond `αK · Cr` in any single rack, sorted worst-first.
+pub fn rack_overages(
+    region: &Region,
+    specs: &[ReservationSpec],
+    targets: &[Option<ReservationId>],
+    params: &SolverParams,
+) -> Vec<(usize, f64)> {
+    let mut per_rack: HashMap<(u32, u32), f64> = HashMap::new();
+    for server in region.servers() {
+        if let Some(r) = targets[server.id.index()] {
+            if let Some(spec) = specs.get(r.index()) {
+                let v = spec.rru.value(server.hardware);
+                if v > 0.0 {
+                    *per_rack.entry((server.rack.0, r.0)).or_default() += v;
+                }
+            }
+        }
+    }
+    let mut overage = vec![0.0; specs.len()];
+    for ((_, r), rru) in per_rack {
+        let ri = r as usize;
+        let spec = &specs[ri];
+        if !solver_visible(spec) || spec.capacity <= 0.0 {
+            continue;
+        }
+        let alpha_k = spec
+            .spread
+            .rack_share
+            .unwrap_or(params.default_rack_share);
+        let limit = alpha_k * spec.capacity;
+        if rru > limit {
+            overage[ri] += rru - limit;
+        }
+    }
+    let mut ranked: Vec<(usize, f64)> = overage.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Servers phase 2 may touch: those targeted at a selected reservation
+/// plus the free pool.
+fn phase2_universe(
+    targets1: &[Option<ReservationId>],
+    selected: &[usize],
+) -> HashSet<ServerId> {
+    let sel: HashSet<u32> = selected.iter().map(|ri| *ri as u32).collect();
+    targets1
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t {
+            None => true,
+            Some(r) => sel.contains(&r.0),
+        })
+        .map(|(i, _)| ServerId::from_index(i))
+        .collect()
+}
+
+/// Cheap upper estimate of rack-granularity class count for a universe.
+fn estimate_rack_classes(
+    region: &Region,
+    snapshot: &BrokerSnapshot,
+    universe: &HashSet<ServerId>,
+) -> usize {
+    let mut keys: HashSet<(u32, Option<ReservationId>, bool)> = HashSet::new();
+    for s in universe {
+        let server = region.server(*s);
+        let record = &snapshot.records[s.index()];
+        keys.insert((
+            server.rack.0,
+            record.current,
+            record.running_containers > 0,
+        ));
+    }
+    keys.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservation::ReservationSpec;
+    use crate::rru::RruTable;
+    use ras_broker::ResourceBroker;
+    use ras_broker::SimTime;
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn setup() -> (Region, ResourceBroker) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
+        let broker = ResourceBroker::new(region.server_count());
+        (region, broker)
+    }
+
+    fn uniform_spec(region: &Region, name: &str, capacity: f64) -> ReservationSpec {
+        ReservationSpec::guaranteed(name, capacity, RruTable::uniform(&region.catalog, 1.0))
+    }
+
+    #[test]
+    fn two_phase_produces_capacity_satisfying_targets() {
+        let (region, broker) = setup();
+        let specs = vec![
+            uniform_spec(&region, "web", 50.0),
+            uniform_spec(&region, "feed", 40.0),
+        ];
+        let snap = broker.snapshot(SimTime::ZERO);
+        let outcome =
+            solve_two_phase(&region, &specs, &snap, &SolverParams::default()).expect("solve");
+        for (ri, spec) in specs.iter().enumerate() {
+            let res = ReservationId::from_index(ri);
+            let mut total = 0.0;
+            let mut by_msb = vec![0.0; region.msbs().len()];
+            for server in region.servers() {
+                if outcome.targets[server.id.index()] == Some(res) {
+                    let v = spec.rru.value(server.hardware);
+                    total += v;
+                    by_msb[server.msb.index()] += v;
+                }
+            }
+            let max_msb = by_msb.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                total - max_msb >= spec.capacity - 1e-6,
+                "{}: total {total}, max msb {max_msb}, want {}",
+                spec.name,
+                spec.capacity
+            );
+        }
+        assert!(outcome.phase1.assignment_vars > 0);
+    }
+
+    #[test]
+    fn phase2_triggers_on_rack_concentration() {
+        let (region, mut broker) = setup();
+        // Bind one whole rack to the reservation, grossly exceeding αK.
+        let r0 = broker.register_reservation("web");
+        let rack = region.racks()[0].clone();
+        for s in &rack.servers {
+            broker.bind_current(*s, Some(r0)).unwrap();
+        }
+        let mut spec = uniform_spec(&region, "web", 30.0);
+        spec.spread.rack_share = Some(0.05); // 1.5 RRUs per rack max.
+        let snap = broker.snapshot(SimTime::ZERO);
+        let outcome =
+            solve_two_phase(&region, &[spec.clone()], &snap, &SolverParams::default())
+                .expect("solve");
+        // Rack overage of the final assignment should be no worse than the
+        // phase-1-only assignment.
+        let ranked = rack_overages(&region, &[spec], &outcome.targets, &SolverParams::default());
+        // The solve must have engaged phase 2 (there was rack overage at
+        // start) unless phase 1 already fixed the spread.
+        if let Some(p2) = &outcome.phase2 {
+            assert!(p2.assignment_vars > 0);
+        }
+        assert!(ranked[0].1 < 9.0 * rack.servers.len() as f64);
+    }
+
+    #[test]
+    fn overage_ranking_is_sorted() {
+        let (region, mut broker) = setup();
+        let r0 = broker.register_reservation("a");
+        let _ = broker.register_reservation("b");
+        let rack = region.racks()[0].clone();
+        for s in &rack.servers {
+            broker.bind_current(*s, Some(r0)).unwrap();
+        }
+        let specs = vec![
+            uniform_spec(&region, "a", 20.0),
+            uniform_spec(&region, "b", 20.0),
+        ];
+        let snap = broker.snapshot(SimTime::ZERO);
+        let targets: Vec<Option<ReservationId>> =
+            snap.records.iter().map(|r| r.current).collect();
+        let ranked = rack_overages(&region, &specs, &targets, &SolverParams::default());
+        assert_eq!(ranked[0].0, 0, "reservation a has the rack pileup");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn impossible_request_is_reported_actionably() {
+        let (region, broker) = setup();
+        let specs = vec![uniform_spec(&region, "web", 1e9)];
+        let snap = broker.snapshot(SimTime::ZERO);
+        // With no current assignment the softened model allocates what it
+        // can; capacity remains short but the solve itself succeeds.
+        let outcome = solve_two_phase(&region, &specs, &snap, &SolverParams::default());
+        match outcome {
+            Ok(o) => {
+                assert!(
+                    !o.phase1.softened.is_empty(),
+                    "impossible capacity must be recorded as softened"
+                );
+            }
+            Err(CoreError::CapacityUnavailable { shortfalls }) => {
+                assert!(!shortfalls.is_empty());
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

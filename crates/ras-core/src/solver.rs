@@ -1,0 +1,225 @@
+//! The Async Solver facade (paper Figure 6, steps 2–3).
+//!
+//! Takes a broker snapshot plus the current reservation specs, runs the
+//! two-phase MIP solve, and writes per-server *targets* back to the
+//! broker. Runs off the critical path: the Online Mover materializes the
+//! targets asynchronously, and container placement never waits on it.
+
+use ras_broker::{BrokerSnapshot, ReservationId, ResourceBroker};
+use ras_topology::Region;
+
+use crate::assign::{count_moves, MoveStats};
+use crate::error::CoreError;
+use crate::model::solver_visible;
+use crate::params::SolverParams;
+use crate::phases::{solve_two_phase, TwoPhaseOutcome};
+use crate::reservation::ReservationSpec;
+use crate::stats::PhaseStats;
+
+/// Output of one solve: targets plus full statistics.
+#[derive(Debug, Clone)]
+pub struct SolveOutput {
+    /// Target reservation per server (`None` = free pool).
+    pub targets: Vec<Option<ReservationId>>,
+    /// Phase-1 statistics.
+    pub phase1: PhaseStats,
+    /// Phase-2 statistics, when phase 2 ran.
+    pub phase2: Option<PhaseStats>,
+    /// Moves this solve plans relative to current bindings.
+    pub moves: MoveStats,
+}
+
+impl SolveOutput {
+    /// Total wall-clock seconds across phases (Figure 7's metric).
+    pub fn allocation_seconds(&self) -> f64 {
+        self.phase1.total_seconds + self.phase2.as_ref().map_or(0.0, |p| p.total_seconds)
+    }
+
+    /// Total assignment variables across phases.
+    pub fn assignment_vars(&self) -> usize {
+        self.phase1.assignment_vars
+            + self.phase2.as_ref().map_or(0, |p| p.assignment_vars)
+    }
+}
+
+/// The Async Solver.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncSolver {
+    /// Cost coefficients and limits.
+    pub params: SolverParams,
+}
+
+impl AsyncSolver {
+    /// Creates a solver with the given parameters.
+    pub fn new(params: SolverParams) -> Self {
+        Self { params }
+    }
+
+    /// Validates specs against the region (actionable rejections,
+    /// Section 5.3).
+    pub fn validate(
+        &self,
+        region: &Region,
+        specs: &[ReservationSpec],
+    ) -> Result<(), CoreError> {
+        for (ri, spec) in specs.iter().enumerate() {
+            if !solver_visible(spec) || spec.capacity <= 0.0 {
+                continue;
+            }
+            let exists = region
+                .servers()
+                .iter()
+                .any(|s| spec.rru.eligible(s.hardware));
+            if !exists {
+                return Err(CoreError::NoEligibleHardware {
+                    reservation: ReservationId::from_index(ri),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one solve over a snapshot.
+    ///
+    /// `specs[i]` must correspond to `ReservationId(i)` as registered in
+    /// the broker.
+    pub fn solve(
+        &self,
+        region: &Region,
+        specs: &[ReservationSpec],
+        snapshot: &BrokerSnapshot,
+    ) -> Result<SolveOutput, CoreError> {
+        self.validate(region, specs)?;
+        let TwoPhaseOutcome {
+            targets,
+            phase1,
+            phase2,
+        } = solve_two_phase(region, specs, snapshot, &self.params)?;
+        let moves = count_moves(snapshot, &targets);
+        Ok(SolveOutput {
+            targets,
+            phase1,
+            phase2,
+            moves,
+        })
+    }
+
+    /// Persists a solve's targets into the broker (Figure 6, step 3).
+    pub fn apply(
+        &self,
+        output: &SolveOutput,
+        broker: &mut ResourceBroker,
+    ) -> Result<(), CoreError> {
+        if broker.server_count() != output.targets.len() {
+            return Err(CoreError::Broker(format!(
+                "target vector ({}) does not match broker fleet ({})",
+                output.targets.len(),
+                broker.server_count()
+            )));
+        }
+        for (i, target) in output.targets.iter().enumerate() {
+            let server = ras_topology::ServerId::from_index(i);
+            let record = broker
+                .record(server)
+                .map_err(|e| CoreError::Broker(e.to_string()))?;
+            if record.target != *target {
+                broker
+                    .set_target(server, *target)
+                    .map_err(|e| CoreError::Broker(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservation::ReservationSpec;
+    use crate::rru::RruTable;
+    use ras_broker::SimTime;
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn setup() -> (Region, ResourceBroker) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
+        let broker = ResourceBroker::new(region.server_count());
+        (region, broker)
+    }
+
+    #[test]
+    fn solve_and_apply_roundtrip() {
+        let (region, mut broker) = setup();
+        let specs = vec![ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&region.catalog, 1.0),
+        )];
+        let r0 = broker.register_reservation("web");
+        let solver = AsyncSolver::default();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let output = solver.solve(&region, &specs, &snap).expect("solve");
+        solver.apply(&output, &mut broker).expect("apply");
+        let assigned = broker
+            .iter()
+            .filter(|(_, r)| r.target == Some(r0))
+            .count();
+        assert!(assigned >= 40, "at least Cr servers targeted, got {assigned}");
+        // Pending moves are exactly the servers with a fresh target.
+        assert_eq!(broker.pending_moves().len(), assigned);
+    }
+
+    #[test]
+    fn validate_rejects_absent_hardware() {
+        let (region, _) = setup();
+        // Demand hardware from an empty table.
+        let specs = vec![ReservationSpec::guaranteed(
+            "ml",
+            10.0,
+            RruTable::empty(&region.catalog),
+        )];
+        let solver = AsyncSolver::default();
+        let err = solver.validate(&region, &specs).unwrap_err();
+        assert!(matches!(err, CoreError::NoEligibleHardware { .. }));
+    }
+
+    #[test]
+    fn resolve_is_stable_without_input_changes() {
+        let (region, mut broker) = setup();
+        let specs = vec![ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&region.catalog, 1.0),
+        )];
+        broker.register_reservation("web");
+        let solver = AsyncSolver::default();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let output = solver.solve(&region, &specs, &snap).expect("solve");
+        solver.apply(&output, &mut broker).expect("apply");
+        // Materialize all moves, then re-solve: nothing should move.
+        for s in broker.pending_moves() {
+            let target = broker.record(s).unwrap().target;
+            broker.bind_current(s, target).unwrap();
+        }
+        let snap2 = broker.snapshot(SimTime::from_hours(1));
+        let output2 = solver.solve(&region, &specs, &snap2).expect("solve 2");
+        assert_eq!(
+            output2.moves.total(),
+            0,
+            "steady state must be move-free (stability objective)"
+        );
+    }
+
+    #[test]
+    fn apply_rejects_mismatched_fleet() {
+        let (region, _) = setup();
+        let mut small = ResourceBroker::new(3);
+        let solver = AsyncSolver::default();
+        let output = SolveOutput {
+            targets: vec![None; region.server_count()],
+            phase1: PhaseStats::default(),
+            phase2: None,
+            moves: MoveStats::default(),
+        };
+        assert!(solver.apply(&output, &mut small).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Stackable reservations (paper Section 5.3, "Stacking reservations").
+//!
+//! "RAS provides capacity guarantees at the granularity of individual
+//! servers. … To improve efficiency, we are actively extending RAS so
+//! that a single server can be shared by multiple stackable
+//! reservations." This module is a prototype of that extension: given a
+//! solved per-server assignment, it carves *fractional* RRU shares of a
+//! host reservation's headroom out for stackable tenants with a matching
+//! host profile, without disturbing the host's guarantee.
+//!
+//! The split is deliberately conservative:
+//!
+//! * only the host's RRUs beyond its requested capacity `Cr` (its
+//!   embedded buffer and rounding surplus) are offered;
+//! * tenants must share the host's OS/kernel configuration (host
+//!   profile) — containers of both land on the same kernel;
+//! * shares are revocable exactly like elastic loans: the plan records
+//!   enough to undo every grant when failures need the buffer back.
+
+use std::collections::HashMap;
+
+use ras_broker::ReservationId;
+use ras_topology::{Region, ServerId};
+use serde::{Deserialize, Serialize};
+
+use crate::reservation::ReservationSpec;
+
+/// One fractional grant: `share` of `server`'s RRU value for the tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackShare {
+    /// The server being shared.
+    pub server: ServerId,
+    /// The reservation that owns the server.
+    pub host: ReservationId,
+    /// The stackable tenant receiving the share.
+    pub tenant: ReservationId,
+    /// Fraction of the server granted, in `(0, 1]`.
+    pub share: f64,
+}
+
+/// A complete stacking plan for one assignment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StackingPlan {
+    /// Individual grants.
+    pub shares: Vec<StackShare>,
+    /// RRUs each tenant received, index-aligned with the spec list.
+    pub granted_rru: Vec<f64>,
+}
+
+impl StackingPlan {
+    /// Total fraction of `server` granted away.
+    pub fn granted_fraction(&self, server: ServerId) -> f64 {
+        self.shares
+            .iter()
+            .filter(|s| s.server == server)
+            .map(|s| s.share)
+            .sum()
+    }
+
+    /// Grants benefiting one tenant.
+    pub fn shares_of(&self, tenant: ReservationId) -> Vec<&StackShare> {
+        self.shares.iter().filter(|s| s.tenant == tenant).collect()
+    }
+}
+
+/// Builds a stacking plan.
+///
+/// `targets` is the solved per-server assignment; `stackable` lists the
+/// reservations (by index) that may *receive* stacked capacity, with the
+/// RRU amount each still wants. Hosts are every guaranteed reservation
+/// with RRU headroom beyond its `Cr`. A server is never split below
+/// `min_share` of itself, and a tenant only stacks onto hosts with the
+/// same host profile.
+pub fn plan(
+    region: &Region,
+    specs: &[ReservationSpec],
+    targets: &[Option<ReservationId>],
+    stackable: &[(usize, f64)],
+    min_share: f64,
+) -> StackingPlan {
+    let mut plan = StackingPlan {
+        shares: Vec::new(),
+        granted_rru: vec![0.0; specs.len()],
+    };
+    // Headroom per host reservation: allocated RRUs − Cr.
+    let mut allocated = vec![0.0f64; specs.len()];
+    for server in region.servers() {
+        if let Some(r) = targets[server.id.index()] {
+            if let Some(spec) = specs.get(r.index()) {
+                allocated[r.index()] += spec.rru.value(server.hardware);
+            }
+        }
+    }
+    let mut headroom: Vec<f64> = specs
+        .iter()
+        .enumerate()
+        .map(|(ri, spec)| {
+            if spec.kind == crate::reservation::ReservationKind::Guaranteed {
+                (allocated[ri] - spec.capacity).max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Remaining grantable fraction per server.
+    let mut server_free: HashMap<ServerId, f64> = HashMap::new();
+
+    for &(ti, want) in stackable {
+        let Some(tenant_spec) = specs.get(ti) else { continue };
+        let mut need = want;
+        for server in region.servers() {
+            if need <= 1e-9 {
+                break;
+            }
+            let Some(host) = targets[server.id.index()] else {
+                continue;
+            };
+            let hi = host.index();
+            let Some(host_spec) = specs.get(hi) else { continue };
+            if hi == ti
+                || host_spec.kind != crate::reservation::ReservationKind::Guaranteed
+                || host_spec.host_profile != tenant_spec.host_profile
+                || headroom[hi] <= 1e-9
+            {
+                continue;
+            }
+            let tenant_value = tenant_spec.rru.value(server.hardware);
+            if tenant_value <= 0.0 {
+                continue;
+            }
+            let host_value = host_spec.rru.value(server.hardware).max(1e-9);
+            let free = server_free.entry(server.id).or_insert(1.0);
+            if *free < min_share {
+                continue;
+            }
+            // Fraction limited by: what's free on the server, the host's
+            // remaining headroom, and what the tenant still needs.
+            let frac = free
+                .min(headroom[hi] / host_value)
+                .min(need / tenant_value)
+                .max(0.0);
+            if frac < min_share {
+                continue;
+            }
+            *free -= frac;
+            headroom[hi] -= frac * host_value;
+            need -= frac * tenant_value;
+            plan.granted_rru[ti] += frac * tenant_value;
+            plan.shares.push(StackShare {
+                server: server.id,
+                host,
+                tenant: ReservationId::from_index(ti),
+                share: frac,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rru::RruTable;
+    use crate::solver::AsyncSolver;
+    use ras_broker::{ResourceBroker, SimTime};
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn solved() -> (Region, Vec<ReservationSpec>, Vec<Option<ReservationId>>) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 55).build();
+        let specs = vec![
+            ReservationSpec::guaranteed("host", 50.0, RruTable::uniform(&region.catalog, 1.0)),
+            ReservationSpec::elastic("tenant", RruTable::uniform(&region.catalog, 1.0)),
+        ];
+        let mut broker = ResourceBroker::new(region.server_count());
+        for s in &specs {
+            broker.register_reservation(&s.name);
+        }
+        let out = AsyncSolver::default()
+            .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
+            .unwrap();
+        (region, specs, out.targets)
+    }
+
+    #[test]
+    fn stacks_only_into_headroom() {
+        let (region, specs, targets) = solved();
+        let plan = plan_for(&region, &specs, &targets, 30.0);
+        // The host's allocation exceeds Cr by its embedded buffer; only
+        // that surplus may be granted.
+        let allocated: f64 = region
+            .servers()
+            .iter()
+            .filter(|s| targets[s.id.index()] == Some(ReservationId(0)))
+            .map(|s| specs[0].rru.value(s.hardware))
+            .sum();
+        let headroom = allocated - specs[0].capacity;
+        assert!(plan.granted_rru[1] > 0.0, "some stacked capacity granted");
+        assert!(
+            plan.granted_rru[1] <= headroom + 1e-9,
+            "granted {} beyond headroom {headroom}",
+            plan.granted_rru[1]
+        );
+    }
+
+    fn plan_for(
+        region: &Region,
+        specs: &[ReservationSpec],
+        targets: &[Option<ReservationId>],
+        want: f64,
+    ) -> StackingPlan {
+        plan(region, specs, targets, &[(1, want)], 0.1)
+    }
+
+    #[test]
+    fn server_fractions_never_exceed_one() {
+        let (region, specs, targets) = solved();
+        let plan = plan_for(&region, &specs, &targets, 1000.0);
+        for share in &plan.shares {
+            assert!(share.share > 0.0 && share.share <= 1.0);
+        }
+        let mut per_server: HashMap<ServerId, f64> = HashMap::new();
+        for s in &plan.shares {
+            *per_server.entry(s.server).or_default() += s.share;
+        }
+        for (s, total) in per_server {
+            assert!(total <= 1.0 + 1e-9, "{s} oversubscribed: {total}");
+        }
+    }
+
+    #[test]
+    fn mismatched_host_profiles_do_not_stack() {
+        let (region, mut specs, targets) = solved();
+        specs[1].host_profile = 9; // Tenant needs a different kernel.
+        let plan = plan(&region, &specs, &targets, &[(1, 30.0)], 0.1);
+        assert!(plan.shares.is_empty());
+        assert_eq!(plan.granted_rru[1], 0.0);
+    }
+
+    #[test]
+    fn tiny_wants_respect_min_share() {
+        let (region, specs, targets) = solved();
+        // Wanting almost nothing yields either nothing or one >=min share.
+        let plan = plan(&region, &specs, &targets, &[(1, 0.01)], 0.25);
+        for s in &plan.shares {
+            assert!(s.share >= 0.25);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Discrete-event simulation of a RAS-managed region.
+//!
+//! Ties every subsystem together under a simulated clock: the failure
+//! injector feeds the Health Check Service, which writes unavailability
+//! into the Resource Broker; the Online Mover replaces failed servers
+//! from the shared buffer within a minute; the Async Solver re-evaluates
+//! the whole region every hour; the Twine allocator keeps containers
+//! running inside each reservation. The same harness can instead drive
+//! Twine's previous greedy allocator as the evaluation baseline.
+
+pub mod failures;
+pub mod metrics;
+pub mod scenario;
+
+pub use failures::{FailureInjector, FailureRates};
+pub use metrics::{HourSample, MetricsLog};
+pub use scenario::{AllocatorMode, SimConfig, Simulation};

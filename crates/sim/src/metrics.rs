@@ -1,0 +1,99 @@
+//! Hourly metric samples collected by the simulation.
+
+use ras_broker::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One hourly sample of region state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HourSample {
+    /// Sample time in hours since simulation start.
+    pub hour: u64,
+    /// Fraction of servers down for any reason.
+    pub unavailable_total: f64,
+    /// Fraction down for unplanned (hardware + software) reasons.
+    pub unavailable_unplanned: f64,
+    /// Fraction down for unplanned hardware specifically.
+    pub unavailable_hardware: f64,
+    /// Fraction down due to correlated failures.
+    pub unavailable_correlated: f64,
+    /// Fraction down for planned maintenance.
+    pub unavailable_planned: f64,
+    /// Server-weighted average of per-reservation max-MSB share
+    /// (Figure 12's y-axis).
+    pub avg_max_msb_share: f64,
+    /// Normalized per-MSB power variance (Figure 14).
+    pub power_variance: f64,
+    /// Peak-MSB power headroom.
+    pub power_headroom: f64,
+    /// Solver target moves executed this hour: (in-use, unused).
+    pub moves: (usize, usize),
+}
+
+/// Append-only metric log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsLog {
+    samples: Vec<HourSample>,
+}
+
+impl MetricsLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: HourSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[HourSample] {
+        &self.samples
+    }
+
+    /// The latest sample, if any.
+    pub fn latest(&self) -> Option<&HourSample> {
+        self.samples.last()
+    }
+
+    /// Samples within `[from_hour, to_hour)`.
+    pub fn window(&self, from_hour: u64, to_hour: u64) -> Vec<&HourSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.hour >= from_hour && s.hour < to_hour)
+            .collect()
+    }
+
+    /// Mean of an extracted metric over all samples.
+    pub fn mean_of(&self, f: impl Fn(&HourSample) -> f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(&f).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Converts a sample time to its hour bucket.
+pub fn hour_of(t: SimTime) -> u64 {
+    t.as_hours()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_and_mean() {
+        let mut log = MetricsLog::new();
+        for hour in 0..10 {
+            log.push(HourSample {
+                hour,
+                unavailable_total: hour as f64 / 10.0,
+                ..HourSample::default()
+            });
+        }
+        assert_eq!(log.window(2, 5).len(), 3);
+        assert!((log.mean_of(|s| s.unavailable_total) - 0.45).abs() < 1e-12);
+        assert_eq!(log.latest().unwrap().hour, 9);
+    }
+}

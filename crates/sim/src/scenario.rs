@@ -1,0 +1,515 @@
+//! The simulation harness.
+
+use ras_broker::{EventNotice, ReservationId, ResourceBroker, SimTime, SubscriberId};
+use ras_core::baseline::GreedyAllocator;
+use ras_core::buffers;
+use ras_core::reservation::ReservationSpec;
+use ras_core::solver::AsyncSolver;
+use ras_core::SolverParams;
+use ras_mover::{ElasticManager, MoverConfig, OnlineMover};
+use ras_topology::Region;
+use ras_twine::{HealthCheckService, TwineAllocator};
+use ras_workloads::power;
+
+use crate::failures::{FailureInjector, FailureRates};
+use crate::metrics::{HourSample, MetricsLog};
+
+/// A uniform count-based RRU table over a region's catalog.
+pub(crate) fn uniform_rru(region: &Region) -> ras_core::rru::RruTable {
+    ras_core::rru::RruTable::uniform(&region.catalog, 1.0)
+}
+
+/// Which level-1 allocator drives the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorMode {
+    /// RAS: two-phase MIP solve every interval, mover executes targets.
+    Ras,
+    /// Twine's previous greedy region-pool assignment (the baseline).
+    Greedy,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed for the failure injector.
+    pub seed: u64,
+    /// Which allocator runs the region.
+    pub mode: AllocatorMode,
+    /// Hours between solves / rebalances (paper: 1).
+    pub solve_interval_hours: u64,
+    /// Simulation tick in seconds (failure injection resolution).
+    pub tick_secs: u64,
+    /// Failure rates.
+    pub failures: FailureRates,
+    /// Solver parameters (RAS mode).
+    pub params: SolverParams,
+    /// Automatically loan idle capacity to an elastic reservation and
+    /// revoke it when correlated failures strike (Section 3.4).
+    pub auto_elastic: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5111,
+            mode: AllocatorMode::Ras,
+            solve_interval_hours: 1,
+            tick_secs: 600,
+            failures: FailureRates::default(),
+            params: SolverParams::default(),
+            auto_elastic: false,
+        }
+    }
+}
+
+/// A running regional simulation.
+pub struct Simulation {
+    /// The physical region.
+    pub region: Region,
+    /// The broker (source of truth).
+    pub broker: ResourceBroker,
+    /// Reservation specs, index-aligned with broker registrations.
+    pub specs: Vec<ReservationSpec>,
+    /// The Async Solver (RAS mode).
+    pub solver: AsyncSolver,
+    /// The Online Mover.
+    pub mover: OnlineMover,
+    /// The Twine allocator.
+    pub twine: TwineAllocator,
+    /// The Health Check Service.
+    pub hcs: HealthCheckService,
+    /// The failure injector.
+    pub injector: FailureInjector,
+    /// Collected hourly metrics.
+    pub metrics: MetricsLog,
+    config: SimConfig,
+    time: SimTime,
+    greedy_events: SubscriberId,
+    moves_logged: usize,
+    elastic: Option<ElasticManager>,
+    pending_revokes: Vec<(ras_topology::ServerId, SimTime)>,
+    /// Statistics of every solve executed (allocation seconds, vars, …).
+    pub solve_history: Vec<ras_core::solver::SolveOutput>,
+}
+
+impl Simulation {
+    /// Builds a simulation over a region.
+    pub fn new(region: Region, config: SimConfig) -> Self {
+        let mut broker = ResourceBroker::new(region.server_count());
+        let mover = OnlineMover::new(&mut broker, MoverConfig::default());
+        let greedy_events = broker.subscribe();
+        let injector = FailureInjector::new(config.failures.clone(), config.seed);
+        Self {
+            region,
+            broker,
+            specs: Vec::new(),
+            solver: AsyncSolver::new(config.params.clone()),
+            mover,
+            twine: TwineAllocator::new(),
+            hcs: HealthCheckService::new(),
+            injector,
+            metrics: MetricsLog::new(),
+            config,
+            time: SimTime::ZERO,
+            greedy_events,
+            moves_logged: 0,
+            elastic: None,
+            pending_revokes: Vec::new(),
+            solve_history: Vec::new(),
+        }
+    }
+
+    /// Registers an elastic reservation and turns on automatic loans:
+    /// every tick loans idle capacity to it; active correlated failures
+    /// revoke loans in the paper's 75 %-now / 25 %-in-30-min waves.
+    pub fn enable_auto_elastic(&mut self, name: &str) -> ReservationId {
+        let spec = ReservationSpec::elastic(
+            name,
+            crate::scenario::uniform_rru(&self.region),
+        );
+        let id = self.add_spec(spec);
+        self.elastic = Some(ElasticManager::new(id));
+        self.config.auto_elastic = true;
+        id
+    }
+
+    /// Registers a reservation spec; ids are dense and broker-aligned.
+    pub fn add_spec(&mut self, spec: ReservationSpec) -> ReservationId {
+        let id = self.broker.register_reservation(spec.name.clone());
+        self.specs.push(spec);
+        id
+    }
+
+    /// Registers the shared random-failure buffers for the whole region.
+    pub fn add_shared_buffers(&mut self, fraction: f64) -> Vec<ReservationId> {
+        buffers::shared_buffer_specs(&self.region, fraction)
+            .into_iter()
+            .map(|s| self.add_spec(s))
+            .collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Runs one solve/rebalance right now (also done automatically on the
+    /// solve interval during [`Simulation::run_hours`]).
+    pub fn solve_now(&mut self) -> Result<(), ras_core::CoreError> {
+        match self.config.mode {
+            AllocatorMode::Ras => {
+                let snapshot = self.broker.snapshot(self.time);
+                let output = self.solver.solve(&self.region, &self.specs, &snapshot)?;
+                self.solver.apply(&output, &mut self.broker)?;
+                self.solve_history.push(output);
+                let region = &self.region;
+                let twine = &mut self.twine;
+                self.mover
+                    .execute_targets(&mut self.broker, self.time, |server, broker| {
+                        twine.evacuate(region, broker, server);
+                    });
+            }
+            AllocatorMode::Greedy => {
+                GreedyAllocator.rebalance(&self.region, &self.specs, &mut self.broker);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the clock by one tick: inject failures, run the mover's
+    /// fast paths, evacuate containers off dead servers.
+    fn tick(&mut self) {
+        self.injector.step(
+            &self.region,
+            &mut self.broker,
+            &mut self.hcs,
+            self.time,
+            self.config.tick_secs,
+        );
+        // Containers on freshly-down servers move within the reservation.
+        let down_with_containers: Vec<_> = self
+            .broker
+            .iter()
+            .filter(|(_, r)| !r.is_up() && r.running_containers > 0)
+            .map(|(s, _)| s)
+            .collect();
+        for s in down_with_containers {
+            self.twine.evacuate(&self.region, &mut self.broker, s);
+        }
+        match self.config.mode {
+            AllocatorMode::Ras => {
+                self.mover.handle_failures(
+                    &self.region,
+                    &self.specs,
+                    &mut self.broker,
+                    self.time,
+                );
+                let _ = self.broker.drain_events(self.greedy_events);
+            }
+            AllocatorMode::Greedy => {
+                let notices = self.broker.drain_events(self.greedy_events);
+                for notice in notices {
+                    let EventNotice::Down(event) = notice else { continue };
+                    if !event.kind.is_unplanned() {
+                        continue;
+                    }
+                    let Ok(rec) = self.broker.record(event.server) else {
+                        continue;
+                    };
+                    if let Some(res) = rec.current {
+                        if let Some(spec) = self.specs.get(res.index()) {
+                            GreedyAllocator.replace_failed(
+                                &self.region,
+                                spec,
+                                res,
+                                event.server,
+                                &mut self.broker,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Elastic automation: loans when calm, revocation under fire.
+        if self.config.auto_elastic {
+            if let Some(mgr) = &self.elastic {
+                // Complete due delayed revocations first.
+                let due: Vec<_> = self
+                    .pending_revokes
+                    .iter()
+                    .filter(|(_, t)| *t <= self.time)
+                    .cloned()
+                    .collect();
+                self.pending_revokes.retain(|(_, t)| *t > self.time);
+                for (s, t) in due {
+                    mgr.complete_revoke(&mut self.broker, s, t, &mut self.mover.log);
+                }
+                let correlated_active = self.broker.iter().any(|(_, r)| {
+                    r.unavailability
+                        .map(|e| {
+                            e.kind == ras_broker::UnavailabilityKind::CorrelatedFailure
+                        })
+                        .unwrap_or(false)
+                });
+                if correlated_active {
+                    let loaned = mgr.loaned(&self.broker).len();
+                    if loaned > 0 {
+                        let (_, delayed) =
+                            mgr.revoke(&mut self.broker, loaned, self.time, &mut self.mover.log);
+                        self.pending_revokes.extend(delayed);
+                    }
+                } else {
+                    mgr.loan_idle(&self.specs, &mut self.broker, 16, self.time, &mut self.mover.log);
+                }
+            }
+        }
+        self.time = self.time.plus_secs(self.config.tick_secs);
+    }
+
+    /// Servers currently loaned to the auto-elastic reservation.
+    pub fn elastic_loans(&self) -> usize {
+        self.elastic
+            .as_ref()
+            .map(|m| m.loaned(&self.broker).len())
+            .unwrap_or(0)
+    }
+
+    /// Runs `hours` simulated hours: ticks, periodic solves, and one
+    /// metric sample per hour.
+    ///
+    /// Solve errors (e.g. genuinely impossible capacity) are recorded by
+    /// skipping the solve; the simulation keeps running, as production
+    /// would.
+    pub fn run_hours(&mut self, hours: u64) {
+        let ticks_per_hour = (3600 / self.config.tick_secs).max(1);
+        for _ in 0..hours {
+            let hour = self.time.as_hours();
+            if hour.is_multiple_of(self.config.solve_interval_hours) {
+                let _ = self.solve_now();
+            }
+            for _ in 0..ticks_per_hour {
+                self.tick();
+            }
+            self.sample(hour);
+        }
+    }
+
+    /// Takes one metric sample labelled with `hour`.
+    pub fn sample(&mut self, hour: u64) {
+        use ras_broker::UnavailabilityKind as K;
+        let total = self.broker.server_count() as f64;
+        let mut down = [0usize; 4]; // planned, hw, sw, correlated
+        for (_, rec) in self.broker.iter() {
+            if let Some(e) = &rec.unavailability {
+                match e.kind {
+                    K::PlannedMaintenance => down[0] += 1,
+                    K::UnplannedHardware => down[1] += 1,
+                    K::UnplannedSoftware => down[2] += 1,
+                    K::CorrelatedFailure => down[3] += 1,
+                }
+            }
+        }
+        let targets: Vec<Option<ReservationId>> =
+            self.broker.iter().map(|(_, r)| r.current).collect();
+        let acct = buffers::account(&self.region, &self.specs, &targets);
+        let weights: Vec<f64> = (0..self.specs.len())
+            .map(|ri| {
+                self.broker
+                    .member_count(ReservationId::from_index(ri)) as f64
+            })
+            .collect();
+        let budget = power::default_budget(&self.region);
+        let p = power::measure(&self.region, &self.broker, budget);
+        // Moves executed since the previous sample.
+        let new_records = &self.mover.log.records()[self.moves_logged..];
+        let in_use = new_records.iter().filter(|r| r.in_use).count();
+        let unused = new_records.len() - in_use;
+        self.moves_logged = self.mover.log.records().len();
+        self.metrics.push(HourSample {
+            hour,
+            unavailable_total: down.iter().sum::<usize>() as f64 / total,
+            unavailable_unplanned: (down[1] + down[2]) as f64 / total,
+            unavailable_hardware: down[1] as f64 / total,
+            unavailable_correlated: down[3] as f64 / total,
+            unavailable_planned: down[0] as f64 / total,
+            avg_max_msb_share: acct.weighted_max_msb_share(&weights),
+            power_variance: p.utilization_variance,
+            power_headroom: p.peak_utilization_headroom,
+            moves: (in_use, unused),
+        });
+    }
+
+    /// Current per-server assignment (current bindings).
+    pub fn current_targets(&self) -> Vec<Option<ReservationId>> {
+        self.broker.iter().map(|(_, r)| r.current).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ras_core::rru::RruTable;
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn region() -> Region {
+        RegionBuilder::new(RegionTemplate::tiny(), 42).build()
+    }
+
+    fn quiet_config(mode: AllocatorMode) -> SimConfig {
+        SimConfig {
+            mode,
+            failures: FailureRates::quiet(),
+            tick_secs: 1200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn ras_mode_materializes_capacity() {
+        let region = region();
+        let mut sim = Simulation::new(region, quiet_config(AllocatorMode::Ras));
+        let catalog = sim.region.catalog.clone();
+        let web = sim.add_spec(ras_core::ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&catalog, 1.0),
+        ));
+        sim.run_hours(2);
+        assert!(
+            sim.broker.member_count(web) >= 40,
+            "capacity materialized via solver+mover, got {}",
+            sim.broker.member_count(web)
+        );
+        assert_eq!(sim.metrics.samples().len(), 2);
+        assert!(!sim.solve_history.is_empty());
+    }
+
+    #[test]
+    fn greedy_mode_also_fills_capacity_but_concentrates() {
+        let region = region();
+        let mut sim = Simulation::new(region, quiet_config(AllocatorMode::Greedy));
+        let catalog = sim.region.catalog.clone();
+        let web = sim.add_spec(ras_core::ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&catalog, 1.0),
+        ));
+        sim.run_hours(1);
+        assert_eq!(sim.broker.member_count(web), 40);
+        let sample = sim.metrics.latest().unwrap();
+        // Greedy fills in id order → heavy concentration in one MSB.
+        assert!(
+            sample.avg_max_msb_share > 0.4,
+            "greedy should concentrate, share {}",
+            sample.avg_max_msb_share
+        );
+    }
+
+    #[test]
+    fn ras_spreads_better_than_greedy() {
+        let build = |mode| {
+            let mut sim = Simulation::new(region(), quiet_config(mode));
+            let catalog = sim.region.catalog.clone();
+            sim.add_spec(ras_core::ReservationSpec::guaranteed(
+                "web",
+                60.0,
+                RruTable::uniform(&catalog, 1.0),
+            ));
+            sim.run_hours(2);
+            sim.metrics.latest().unwrap().avg_max_msb_share
+        };
+        let ras = build(AllocatorMode::Ras);
+        let greedy = build(AllocatorMode::Greedy);
+        assert!(
+            ras < greedy * 0.6,
+            "RAS max-MSB share {ras} must beat greedy {greedy}"
+        );
+    }
+
+    #[test]
+    fn failure_replacement_keeps_capacity_whole() {
+        let region = region();
+        let mut config = quiet_config(AllocatorMode::Ras);
+        config.failures = FailureRates {
+            hardware_per_server_per_day: 0.05, // High for a short test.
+            ..FailureRates::quiet()
+        };
+        let mut sim = Simulation::new(region, config);
+        let catalog = sim.region.catalog.clone();
+        let web = sim.add_spec(ras_core::ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&catalog, 1.0),
+        ));
+        sim.add_shared_buffers(0.02);
+        sim.run_hours(6);
+        // Healthy membership stays at/above Cr thanks to fast replacement.
+        let healthy = sim
+            .broker
+            .members_of(web)
+            .iter()
+            .filter(|s| sim.broker.record(**s).unwrap().is_up())
+            .count();
+        assert!(healthy >= 38, "healthy members {healthy} after failures");
+    }
+
+    #[test]
+    fn auto_elastic_loans_and_revokes() {
+        let region = region();
+        let mut config = quiet_config(AllocatorMode::Ras);
+        config.tick_secs = 600;
+        let mut sim = Simulation::new(region, config);
+        let catalog = sim.region.catalog.clone();
+        sim.add_spec(ras_core::ReservationSpec::guaranteed(
+            "web",
+            40.0,
+            RruTable::uniform(&catalog, 1.0),
+        ));
+        let _elastic = sim.enable_auto_elastic("ml-offline");
+        sim.run_hours(2);
+        assert!(sim.elastic_loans() > 0, "idle capacity must be loaned");
+        // A correlated failure revokes the loans (75 % immediately).
+        let msb = ras_topology::MsbId(0);
+        let now = sim.now();
+        let loans_before = sim.elastic_loans();
+        {
+            let Simulation { region, broker, hcs, .. } = &mut sim;
+            hcs.report_scope_down(
+                broker,
+                region,
+                ras_topology::ScopeId::Msb(msb),
+                ras_broker::UnavailabilityKind::CorrelatedFailure,
+                now,
+                Some(now.plus_hours(2)),
+            )
+            .unwrap();
+        }
+        sim.run_hours(1);
+        assert!(
+            sim.elastic_loans() < loans_before / 2,
+            "correlated failure must revoke loans: {} -> {}",
+            loans_before,
+            sim.elastic_loans()
+        );
+    }
+
+    #[test]
+    fn unavailability_sampling_sees_injected_events() {
+        let region = region();
+        let mut config = quiet_config(AllocatorMode::Ras);
+        config.failures = FailureRates {
+            software_per_server_per_day: 2.0,
+            software_minutes: (200.0, 400.0),
+            ..FailureRates::quiet()
+        };
+        let mut sim = Simulation::new(region, config);
+        sim.run_hours(3);
+        let peak = sim
+            .metrics
+            .samples()
+            .iter()
+            .map(|s| s.unavailable_unplanned)
+            .fold(0.0, f64::max);
+        assert!(peak > 0.0, "software failures must show in samples");
+    }
+}

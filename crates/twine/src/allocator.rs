@@ -1,0 +1,400 @@
+//! Real-time container placement within a reservation.
+//!
+//! The allocator owns container state for every reservation it manages
+//! and keeps the broker's `running_containers` counters in sync, which is
+//! how the Async Solver learns which servers are expensive to move.
+
+use std::collections::HashMap;
+
+use ras_broker::{ReservationId, ResourceBroker};
+use ras_topology::{Region, ServerId};
+use serde::{Deserialize, Serialize};
+
+use crate::job::{ContainerId, ContainerSpec, JobId, JobSpec};
+
+/// Why a placement failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The reservation has no server with enough free capacity.
+    NoCapacity {
+        /// The reservation that was full.
+        reservation: ReservationId,
+        /// Replicas that could not be placed.
+        unplaced: u32,
+    },
+    /// The job references a job id that does not exist.
+    UnknownJob(JobId),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCapacity {
+                reservation,
+                unplaced,
+            } => write!(f, "{reservation} out of capacity ({unplaced} unplaced)"),
+            PlacementError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A placed container.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Placement {
+    job: JobId,
+    server: ServerId,
+    spec: ContainerSpec,
+}
+
+/// The per-region Twine allocator (manages many reservations; each
+/// placement decision only looks at one).
+#[derive(Debug, Default)]
+pub struct TwineAllocator {
+    jobs: Vec<JobSpec>,
+    containers: HashMap<ContainerId, Placement>,
+    next_container: u64,
+    /// Free capacity per server (initialized lazily from hardware specs).
+    free: HashMap<ServerId, (f64, f64)>,
+    /// Candidate-evaluation counter for the latest placement call — the
+    /// two-level design keeps this proportional to reservation size, not
+    /// region size.
+    pub last_candidates_evaluated: usize,
+}
+
+impl TwineAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn free_capacity(&mut self, region: &Region, server: ServerId) -> (f64, f64) {
+        *self.free.entry(server).or_insert_with(|| {
+            let hw = region.catalog.get(region.server(server).hardware);
+            (hw.cores as f64, hw.memory_gib as f64)
+        })
+    }
+
+    /// Submits a job: places `replicas` containers on the reservation's
+    /// servers. Returns the container ids placed.
+    ///
+    /// Placement policy: filter the reservation's healthy members with
+    /// room, then pick the least-loaded rack first (anti-affinity) or the
+    /// best fit (stacking) otherwise.
+    ///
+    /// On capacity exhaustion the partial placements *stay* (Twine keeps
+    /// retrying in production) but their ids are not returned; callers
+    /// that need them should use [`TwineAllocator::submit_partial`].
+    pub fn submit(
+        &mut self,
+        region: &Region,
+        broker: &mut ResourceBroker,
+        job: JobSpec,
+    ) -> Result<Vec<ContainerId>, PlacementError> {
+        let reservation = job.reservation;
+        let want = job.replicas;
+        let (placed, unplaced) = self.submit_partial(region, broker, job);
+        if unplaced > 0 {
+            debug_assert_eq!(placed.len() as u32 + unplaced, want);
+            return Err(PlacementError::NoCapacity {
+                reservation,
+                unplaced,
+            });
+        }
+        Ok(placed)
+    }
+
+    /// Like [`TwineAllocator::submit`] but always returns the ids that
+    /// did place, plus the shortfall: `(placed, unplaced)`.
+    pub fn submit_partial(
+        &mut self,
+        region: &Region,
+        broker: &mut ResourceBroker,
+        job: JobSpec,
+    ) -> (Vec<ContainerId>, u32) {
+        let job_id = JobId(self.jobs.len() as u32);
+        let reservation = job.reservation;
+        let replicas = job.replicas;
+        let mut placed = Vec::new();
+        self.last_candidates_evaluated = 0;
+        self.jobs.push(job.clone());
+        for _ in 0..replicas {
+            match self.place_one(
+                region,
+                broker,
+                reservation,
+                job.container,
+                job.rack_anti_affinity,
+                job_id,
+            ) {
+                Some(id) => placed.push(id),
+                None => break,
+            }
+        }
+        let unplaced = replicas - placed.len() as u32;
+        (placed, unplaced)
+    }
+
+    fn place_one(
+        &mut self,
+        region: &Region,
+        broker: &mut ResourceBroker,
+        reservation: ReservationId,
+        spec: ContainerSpec,
+        anti_affinity: bool,
+        job: JobId,
+    ) -> Option<ContainerId> {
+        // Candidates: the reservation's members only.
+        let members = broker.members_of(reservation);
+        // Rack usage of this job for anti-affinity.
+        let mut job_racks: HashMap<u32, usize> = HashMap::new();
+        if anti_affinity {
+            for p in self.containers.values() {
+                if p.job == job {
+                    *job_racks.entry(region.server(p.server).rack.0).or_default() += 1;
+                }
+            }
+        }
+        let mut best: Option<(ServerId, (usize, i64))> = None;
+        for s in members {
+            self.last_candidates_evaluated += 1;
+            let record = broker.record(s).ok()?;
+            if !record.is_up() {
+                continue;
+            }
+            let (cores, mem) = self.free_capacity(region, s);
+            if cores < spec.cores || mem < spec.memory_gib {
+                continue;
+            }
+            let rack_penalty = if anti_affinity {
+                job_racks
+                    .get(&region.server(s).rack.0)
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            // Best fit: least remaining cores after placement (tightest
+            // stacking), after rack anti-affinity.
+            let fit = ((cores - spec.cores) * 100.0) as i64;
+            let key = (rack_penalty, fit);
+            match best {
+                Some((_, bk)) if bk <= key => {}
+                _ => best = Some((s, key)),
+            }
+        }
+        let (server, _) = best?;
+        let (cores, mem) = self.free_capacity(region, server);
+        self.free
+            .insert(server, (cores - spec.cores, mem - spec.memory_gib));
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        self.containers.insert(
+            id,
+            Placement {
+                job,
+                server,
+                spec,
+            },
+        );
+        let count = self.containers_on(server) as u32;
+        broker.set_running_containers(server, count).ok()?;
+        Some(id)
+    }
+
+    /// Stops one container.
+    pub fn stop(&mut self, broker: &mut ResourceBroker, container: ContainerId) {
+        if let Some(p) = self.containers.remove(&container) {
+            if let Some((c, m)) = self.free.get_mut(&p.server) {
+                *c += p.spec.cores;
+                *m += p.spec.memory_gib;
+            }
+            let count = self.containers_on(p.server) as u32;
+            let _ = broker.set_running_containers(p.server, count);
+        }
+    }
+
+    /// Containers currently on one server.
+    pub fn containers_on(&self, server: ServerId) -> usize {
+        self.containers.values().filter(|p| p.server == server).count()
+    }
+
+    /// Total running containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Evacuates every container from a failed or preempted server and
+    /// re-places each within its reservation (onto embedded buffer
+    /// capacity after an MSB failure). Returns `(moved, lost)` counts.
+    pub fn evacuate(
+        &mut self,
+        region: &Region,
+        broker: &mut ResourceBroker,
+        server: ServerId,
+    ) -> (usize, usize) {
+        let victims: Vec<(ContainerId, Placement)> = self
+            .containers
+            .iter()
+            .filter(|(_, p)| p.server == server)
+            .map(|(id, p)| (*id, *p))
+            .collect();
+        let mut moved = 0;
+        let mut lost = 0;
+        for (id, p) in victims {
+            self.containers.remove(&id);
+            if let Some((c, m)) = self.free.get_mut(&server) {
+                *c += p.spec.cores;
+                *m += p.spec.memory_gib;
+            }
+            let job = &self.jobs[p.job.index()];
+            let reservation = job.reservation;
+            let anti = job.rack_anti_affinity;
+            if self
+                .place_one(region, broker, reservation, p.spec, anti, p.job)
+                .is_some()
+            {
+                moved += 1;
+            } else {
+                lost += 1;
+            }
+        }
+        let _ = broker.set_running_containers(server, self.containers_on(server) as u32);
+        (moved, lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use ras_broker::SimTime;
+    use ras_topology::{RegionBuilder, RegionTemplate};
+
+    fn setup() -> (Region, ResourceBroker, ReservationId) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
+        let mut broker = ResourceBroker::new(region.server_count());
+        let r = broker.register_reservation("web");
+        // Bind the first 30 servers.
+        for i in 0..30 {
+            broker.bind_current(ServerId(i), Some(r)).unwrap();
+        }
+        (region, broker, r)
+    }
+
+    fn job(r: ReservationId, replicas: u32, anti: bool) -> JobSpec {
+        JobSpec {
+            name: "j".into(),
+            reservation: r,
+            container: ContainerSpec::small(),
+            replicas,
+            rack_anti_affinity: anti,
+        }
+    }
+
+    #[test]
+    fn placement_stays_inside_the_reservation() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        let placed = alloc.submit(&region, &mut broker, job(r, 10, false)).unwrap();
+        assert_eq!(placed.len(), 10);
+        for (s, rec) in broker.iter() {
+            if rec.running_containers > 0 {
+                assert_eq!(rec.current, Some(r), "container outside reservation on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn stacking_coexists_on_one_server() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        alloc.submit(&region, &mut broker, job(r, 4, false)).unwrap();
+        // Best-fit stacking should reuse servers rather than spray.
+        let busy = broker.iter().filter(|(_, rec)| rec.running_containers > 0).count();
+        assert!(busy <= 2, "best-fit should stack, used {busy} servers");
+    }
+
+    #[test]
+    fn anti_affinity_spreads_across_racks() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        alloc.submit(&region, &mut broker, job(r, 3, true)).unwrap();
+        let mut racks = std::collections::HashSet::new();
+        for (s, rec) in broker.iter() {
+            if rec.running_containers > 0 {
+                racks.insert(region.server(s).rack);
+            }
+        }
+        assert_eq!(racks.len(), 3, "3 replicas across 3 racks");
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_shortfall() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        // Each server fits a bounded number of small containers; demand far more.
+        let err = alloc
+            .submit(&region, &mut broker, job(r, 10_000, false))
+            .unwrap_err();
+        match err {
+            PlacementError::NoCapacity { unplaced, .. } => assert!(unplaced > 0),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn candidates_scale_with_reservation_not_region() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        alloc.submit(&region, &mut broker, job(r, 1, false)).unwrap();
+        assert!(
+            alloc.last_candidates_evaluated <= 30,
+            "only reservation members may be scanned, got {}",
+            alloc.last_candidates_evaluated
+        );
+    }
+
+    #[test]
+    fn stop_frees_capacity() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        let placed = alloc.submit(&region, &mut broker, job(r, 2, false)).unwrap();
+        let busy_before = alloc.container_count();
+        alloc.stop(&mut broker, placed[0]);
+        assert_eq!(alloc.container_count(), busy_before - 1);
+        // Counter synced to broker.
+        let total: u32 = broker.iter().map(|(_, rec)| rec.running_containers).sum();
+        assert_eq!(total as usize, alloc.container_count());
+    }
+
+    #[test]
+    fn evacuation_moves_containers_within_reservation() {
+        let (region, mut broker, r) = setup();
+        let mut alloc = TwineAllocator::new();
+        alloc.submit(&region, &mut broker, job(r, 6, true)).unwrap();
+        let victim = broker
+            .iter()
+            .find(|(_, rec)| rec.running_containers > 0)
+            .map(|(s, _)| s)
+            .unwrap();
+        // The health-check service marks the server down before Twine
+        // evacuates; otherwise containers could land right back on it.
+        broker
+            .mark_down(ras_broker::UnavailabilityEvent {
+                server: victim,
+                kind: ras_broker::UnavailabilityKind::UnplannedHardware,
+                scope: ras_topology::ScopeId::Server(victim),
+                start: SimTime::ZERO,
+                expected_end: None,
+            })
+            .unwrap();
+        let on_victim = alloc.containers_on(victim);
+        let (moved, lost) = alloc.evacuate(&region, &mut broker, victim);
+        assert_eq!(moved, on_victim);
+        assert_eq!(lost, 0);
+        assert_eq!(alloc.containers_on(victim), 0);
+        assert_eq!(alloc.container_count(), 6);
+    }
+}

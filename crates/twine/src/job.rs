@@ -1,0 +1,85 @@
+//! Jobs and containers.
+
+use ras_broker::ReservationId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a container instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContainerId(pub u64);
+
+/// Resource shape of one container.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    /// CPU cores requested.
+    pub cores: f64,
+    /// Memory requested in GiB.
+    pub memory_gib: f64,
+}
+
+impl ContainerSpec {
+    /// A small standard container.
+    pub fn small() -> Self {
+        Self {
+            cores: 4.0,
+            memory_gib: 8.0,
+        }
+    }
+
+    /// A large container (e.g. a cache shard).
+    pub fn large() -> Self {
+        Self {
+            cores: 16.0,
+            memory_gib: 64.0,
+        }
+    }
+}
+
+/// A job: `replicas` identical containers inside one reservation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Reservation this job runs in ("the Twine Allocator leverages the
+    /// Resource Broker to get a list of candidate servers by referencing
+    /// the reservation ID").
+    pub reservation: ReservationId,
+    /// Shape of each container.
+    pub container: ContainerSpec,
+    /// Number of containers.
+    pub replicas: u32,
+    /// Spread replicas across racks (anti-affinity) when true.
+    pub rack_anti_affinity: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_presets() {
+        assert!(ContainerSpec::large().cores > ContainerSpec::small().cores);
+    }
+
+    #[test]
+    fn job_spec_is_cloneable() {
+        let j = JobSpec {
+            name: "web".into(),
+            reservation: ReservationId(0),
+            container: ContainerSpec::small(),
+            replicas: 10,
+            rack_anti_affinity: true,
+        };
+        assert_eq!(j.clone().replicas, 10);
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload models for the RAS reproduction.
+//!
+//! Everything the evaluation needs that is *about services* rather than
+//! about the allocator lives here:
+//!
+//! * [`profiles`] — the paper's headline services (DataStore, Feed1,
+//!   Feed2, Web) with their per-generation relative values (Figure 3),
+//!   plus a synthetic long tail;
+//! * [`requests`] — a capacity-request generator reproducing Figure 4's
+//!   joint distribution of request size × hardware fungibility;
+//! * [`power`] — per-MSB power aggregation, variance, and headroom
+//!   (Figure 14);
+//! * [`network`] — cross-datacenter traffic accounting for
+//!   storage-affine services (Figure 15).
+
+pub mod network;
+pub mod power;
+pub mod profiles;
+pub mod requests;
+
+pub use profiles::{ServiceProfile, StandardServices};
+pub use requests::{CapacityRequest, RequestGenerator, RequestGeneratorConfig};

@@ -1,0 +1,91 @@
+//! Quickstart: create a region, request capacity, watch RAS materialize
+//! it, then survive an MSB failure without losing guaranteed capacity.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ras::broker::{ResourceBroker, SimTime};
+use ras::core::rru::RruTable;
+use ras::core::{buffers, AsyncSolver, ReservationSpec};
+use ras::mover::{MoverConfig, OnlineMover};
+use ras::topology::{RegionBuilder, RegionTemplate};
+
+fn main() {
+    // 1. A synthetic region: 2 datacenters × 3 MSBs × 60 servers.
+    let region = RegionBuilder::new(RegionTemplate::tiny(), 7).build();
+    println!(
+        "region: {} datacenters, {} MSBs, {} servers, {} hardware types",
+        region.datacenters().len(),
+        region.msbs().len(),
+        region.server_count(),
+        region.catalog.len()
+    );
+
+    // 2. The broker tracks every server; reservations register in order.
+    let mut broker = ResourceBroker::new(region.server_count());
+    let specs = vec![
+        ReservationSpec::guaranteed("web", 60.0, RruTable::uniform(&region.catalog, 1.0)),
+        ReservationSpec::guaranteed("feed", 40.0, RruTable::uniform(&region.catalog, 1.0)),
+    ];
+    let web = broker.register_reservation("web");
+    let feed = broker.register_reservation("feed");
+
+    // 3. One solve assigns servers to reservations, optimizing spread,
+    //    embedded failure buffers, and movement cost.
+    let solver = AsyncSolver::default();
+    let output = solver
+        .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
+        .expect("solve");
+    solver.apply(&output, &mut broker).expect("apply");
+    println!(
+        "solve: {} assignment vars, {:.3}s, {} moves planned",
+        output.assignment_vars(),
+        output.allocation_seconds(),
+        output.moves.total()
+    );
+
+    // 4. The Online Mover materializes the targets.
+    let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
+    let moved = mover.execute_targets(&mut broker, SimTime::ZERO, |_, _| {});
+    println!("mover: executed {moved} bindings");
+    println!(
+        "membership: web={} feed={}",
+        broker.member_count(web),
+        broker.member_count(feed)
+    );
+
+    // 5. Buffer accounting: every reservation can lose any one MSB.
+    let targets: Vec<_> = broker.iter().map(|(_, r)| r.current).collect();
+    let acct = buffers::account(&region, &specs, &targets);
+    println!(
+        "accounting: {:.1}% guaranteed, {:.1}% embedded buffer, {:.1}% free",
+        acct.guaranteed_fraction * 100.0,
+        acct.embedded_buffer_fraction * 100.0,
+        acct.free_fraction * 100.0
+    );
+    for (ri, spec) in specs.iter().enumerate() {
+        println!(
+            "  {}: max-MSB share {:.1}% (perfect spread would be {:.1}%)",
+            spec.name,
+            acct.max_msb_share[ri] * 100.0,
+            buffers::perfect_spread_bound(&region) * 100.0
+        );
+    }
+
+    // 6. Kill the MSB where web holds the most servers; surviving
+    //    capacity must still cover the request.
+    let mut per_msb = vec![0usize; region.msbs().len()];
+    for s in broker.members_of(web) {
+        per_msb[region.server(s).msb.index()] += 1;
+    }
+    let (worst, _) = per_msb.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+    let survivors = broker
+        .members_of(web)
+        .into_iter()
+        .filter(|s| region.server(*s).msb.index() != worst)
+        .count();
+    println!(
+        "MSB {worst} failure drill: web keeps {survivors} healthy servers (needs 60) → {}",
+        if survivors >= 60 { "SURVIVES" } else { "FAILS" }
+    );
+    assert!(survivors >= 60, "embedded buffer must absorb any MSB loss");
+}

