@@ -32,8 +32,15 @@ fn bench_model_build(c: &mut Criterion) {
     let classes = build_classes(&inst.region, &snapshot, Granularity::Msb, None);
     c.bench_function("ras_model_build", |b| {
         b.iter(|| {
-            build_model(&inst.region, &inst.specs, &classes, &inst.params, false, None)
-                .assignment_var_count
+            build_model(
+                &inst.region,
+                &inst.specs,
+                &classes,
+                &inst.params,
+                false,
+                None,
+            )
+            .assignment_var_count
         })
     });
 }

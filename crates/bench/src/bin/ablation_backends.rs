@@ -67,8 +67,10 @@ fn main() {
     ]);
 
     // Local search at two budgets.
-    for (label, iterations) in [("local search (fast)", 50_000), ("local search (long)", 500_000)]
-    {
+    for (label, iterations) in [
+        ("local search (fast)", 50_000),
+        ("local search (long)", 500_000),
+    ] {
         let t0 = Instant::now();
         let result = LocalSearch::new(LocalSearchConfig {
             iterations,

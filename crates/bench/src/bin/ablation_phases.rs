@@ -31,7 +31,12 @@ fn main() {
         "ablation_phases",
         "Two-phase solving vs one monolithic rack-granularity solve",
         "phasing trades a little optimality for a large cut in variables and solve time",
-        &["configuration", "assignment vars", "seconds", "rack overage (RRUs)"],
+        &[
+            "configuration",
+            "assignment vars",
+            "seconds",
+            "rack overage (RRUs)",
+        ],
     );
 
     // Two-phase (the production path).
@@ -44,20 +49,14 @@ fn main() {
         .sum();
     exp.row(&[
         "two-phase".into(),
-        (two.phase1.assignment_vars
-            + two.phase2.as_ref().map_or(0, |p| p.assignment_vars))
-        .to_string(),
+        (two.phase1.assignment_vars + two.phase2.as_ref().map_or(0, |p| p.assignment_vars))
+            .to_string(),
         fmt(two_secs, 2),
         fmt(two_overage, 1),
     ]);
 
     // Monolithic: one rack-granularity solve over everything.
-    let everything: HashSet<ServerId> = inst
-        .region
-        .servers()
-        .iter()
-        .map(|s| s.id)
-        .collect();
+    let everything: HashSet<ServerId> = inst.region.servers().iter().map(|s| s.id).collect();
     let t1 = Instant::now();
     match run_phase(
         &inst.region,
@@ -84,7 +83,7 @@ fn main() {
                 stats.assignment_vars as f64
                     / (two.phase1.assignment_vars
                         + two.phase2.as_ref().map_or(0, |p| p.assignment_vars))
-                        .max(1) as f64
+                    .max(1) as f64
             ));
         }
         Err(e) => {

@@ -47,9 +47,18 @@ fn main() {
         "ablation_stability",
         "Hourly churn with vs without the stability objective",
         "Expression 1 is what keeps continuous re-optimization from thrashing the fleet",
-        &["configuration", "total moves (12 solves)", "in-use moves", "moves/solve"],
+        &[
+            "configuration",
+            "total moves (12 solves)",
+            "in-use moves",
+            "moves/solve",
+        ],
     );
-    let with = run(SolverParams::default(), "stability on (Ms = 100/10)", &mut exp);
+    let with = run(
+        SolverParams::default(),
+        "stability on (Ms = 100/10)",
+        &mut exp,
+    );
     let without = run(
         SolverParams {
             move_cost_in_use: 0.0,

@@ -38,7 +38,14 @@ fn main() {
         "ablation_symmetry",
         "Raw per-server model vs equivalence-class model",
         "symmetry reduction shrinks the MIP by orders of magnitude with an identical optimum",
-        &["model", "assignment vars", "constraints", "build ms", "model MB", "root LP ms"],
+        &[
+            "model",
+            "assignment vars",
+            "constraints",
+            "build ms",
+            "model MB",
+            "root LP ms",
+        ],
     );
 
     let mut results = Vec::new();

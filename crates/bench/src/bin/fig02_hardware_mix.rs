@@ -32,7 +32,11 @@ fn main() {
         let distinct = row.iter().filter(|c| **c > 0).count();
         exp.row(&[
             format!("{mi}"),
-            region.catalog.get(ras_topology::HardwareTypeId::from_index(best)).name.clone(),
+            region
+                .catalog
+                .get(ras_topology::HardwareTypeId::from_index(best))
+                .name
+                .clone(),
             fmt(cnt as f64 / total as f64 * 100.0, 1),
             distinct.to_string(),
         ]);

@@ -27,7 +27,14 @@ fn main() {
         "fig04",
         "Requested capacity vs fulfilling hardware types",
         "sizes 1–30k units; fungibility modes at 1 and ~8 types, tail at 10–12",
-        &["hardware types", "1-9u", "10-99u", "100-999u", "1k-9.9k u", ">=10k u"],
+        &[
+            "hardware types",
+            "1-9u",
+            "10-99u",
+            "100-999u",
+            "1k-9.9k u",
+            ">=10k u",
+        ],
     );
     let mut fungibilities: Vec<usize> = grid.keys().map(|(f, _)| *f).collect();
     fungibilities.sort_unstable();
@@ -41,7 +48,10 @@ fn main() {
         exp.row(&row);
     }
     let max = samples.iter().map(|s| s.units).fold(0.0, f64::max);
-    let min = samples.iter().map(|s| s.units).fold(f64::INFINITY, f64::min);
+    let min = samples
+        .iter()
+        .map(|s| s.units)
+        .fold(f64::INFINITY, f64::min);
     exp.note(format!("size range observed: {min} – {max} units"));
     let ones = samples.iter().filter(|s| s.fungibility() == 1).count();
     exp.note(format!(
@@ -50,6 +60,8 @@ fn main() {
         n,
         ones as f64 / n as f64 * 100.0
     ));
-    exp.note(fmt(samples.iter().map(|s| s.units).sum::<f64>() / n as f64, 0) + " units mean request");
+    exp.note(
+        fmt(samples.iter().map(|s| s.units).sum::<f64>() / n as f64, 0) + " units mean request",
+    );
     exp.finish();
 }

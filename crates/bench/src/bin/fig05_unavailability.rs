@@ -13,7 +13,7 @@ fn main() {
     let region = RegionBuilder::new(RegionTemplate::medium(), 5).build();
     let config = SimConfig {
         seed: 55,
-        mode: AllocatorMode::Greedy, // Allocator is irrelevant here.
+        mode: AllocatorMode::Greedy,    // Allocator is irrelevant here.
         solve_interval_hours: u64::MAX, // Never solve: pure failure trace.
         tick_secs: 1200,
         failures: FailureRates {
@@ -32,7 +32,14 @@ fn main() {
         "fig05",
         "Server unavailability events over one month",
         "total >5% at peaks, unplanned <0.5% spiking >3%, ≈4% correlated event",
-        &["day", "total%", "planned%", "unplanned%", "hardware%", "correlated%"],
+        &[
+            "day",
+            "total%",
+            "planned%",
+            "unplanned%",
+            "hardware%",
+            "correlated%",
+        ],
     );
     for d in 0..days {
         let window = sim.metrics.window(d * 24, (d + 1) * 24);

@@ -58,7 +58,14 @@ fn main() {
         "fig08",
         "Allocation time breakdown by phase and step",
         "phase1 ≈60% of total, 67% of it in MIP; phase2 ≈19% MIP, ≈70% in builds",
-        &["phase", "ras build%", "solver build%", "initial state%", "MIP%", "share of total%"],
+        &[
+            "phase",
+            "ras build%",
+            "solver build%",
+            "initial state%",
+            "MIP%",
+            "share of total%",
+        ],
     );
     let grand_total = acc[0].total_seconds + acc[1].total_seconds;
     for (i, s) in acc.iter().enumerate() {

@@ -32,9 +32,7 @@ fn main() {
         let catalog = inst.region.catalog.clone();
         let mut wide = ras_core::rru::RruTable::empty(&catalog);
         for hw in catalog.iter() {
-            if !hw.has_accelerator()
-                && hw.generation != ras_topology::ProcessorGeneration::Gen1
-            {
+            if !hw.has_accelerator() && hw.generation != ras_topology::ProcessorGeneration::Gen1 {
                 wide.set(hw.id, 1.0);
             }
         }
@@ -85,7 +83,14 @@ fn main() {
                 (None, None) => current,
             }
         };
-        let mut ras = build_model(&inst.region, &inst.specs, &classes, &inst.params, false, None);
+        let mut ras = build_model(
+            &inst.region,
+            &inst.specs,
+            &classes,
+            &inst.params,
+            false,
+            None,
+        );
         let mut cfg = config.clone();
         cfg.initial_incumbent = Some(best_warm(&ras));
         let mut result = ras.model.solve_with(&cfg);
@@ -124,7 +129,12 @@ fn main() {
                 );
                 for (i, t) in targets.iter().enumerate() {
                     let s = ras_topology::ServerId::from_index(i);
-                    if inst.broker.record(s).map(|r| r.current != *t).unwrap_or(false) {
+                    if inst
+                        .broker
+                        .record(s)
+                        .map(|r| r.current != *t)
+                        .unwrap_or(false)
+                    {
                         let _ = inst.broker.bind_current(s, *t);
                     }
                 }
@@ -153,11 +163,7 @@ fn main() {
     );
     for p in [50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
         let g = percentile(&gaps, p);
-        exp.row(&[
-            fmt(p, 0),
-            fmt(g, 1),
-            fmt(g / preemption_cost, 1),
-        ]);
+        exp.row(&[fmt(p, 0), fmt(g, 1), fmt(g / preemption_cost, 1)]);
     }
     exp.note(format!(
         "{:.0}% of solves proven within 200 preemption-costs of optimal (paper: 90%)",

@@ -47,7 +47,12 @@ fn main() {
         "fig10",
         "Setup time (RAS build + solver build + initial state) vs assignment variables",
         "setup time grows linearly with assignment variables",
-        &["servers", "reservations", "assignment vars", "setup seconds"],
+        &[
+            "servers",
+            "reservations",
+            "assignment vars",
+            "setup seconds",
+        ],
     );
     let mut exp11 = Experiment::new(
         "fig11",
@@ -63,7 +68,14 @@ fn main() {
         // Phase-2-style build (rack granularity) maximizes variables.
         let t0 = Instant::now();
         let classes = build_classes(&inst.region, &snapshot, Granularity::Rack, None);
-        let ras = build_model(&inst.region, &inst.specs, &classes, &inst.params, true, None);
+        let ras = build_model(
+            &inst.region,
+            &inst.specs,
+            &classes,
+            &inst.params,
+            true,
+            None,
+        );
         let ras_build = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
         let sf = StandardForm::from_model(&ras.model);
@@ -71,17 +83,13 @@ fn main() {
         let t2 = Instant::now();
         // Initial state: the root LP with a tight pivot budget (the paper
         // measures loading the initial assignment + the initial LP pass,
-        // not a solve to optimality — and a dense-inverse simplex pivot
-        // is O(rows²), so the budget is deliberately small and huge
-        // models skip the LP rather than thrash).
-        if sf.num_rows <= 6_000 {
-            let lp_cfg = SimplexConfig {
-                max_iterations: 200,
-                refactor_interval: 1_000_000,
-                ..SimplexConfig::default()
-            };
-            let _ = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &lp_cfg);
-        }
+        // not a solve to optimality). The sparse LU engine handles every
+        // sweep size, so no row gate is needed any more.
+        let lp_cfg = SimplexConfig {
+            max_iterations: 200,
+            ..SimplexConfig::default()
+        };
+        let _ = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &lp_cfg);
         let initial_state = t2.elapsed().as_secs_f64();
         let setup = ras_build + solver_build + initial_state;
         let mem_mb = ras.model.memory_estimate_bytes() as f64 / 1e6;
@@ -105,18 +113,23 @@ fn main() {
         let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
         let my = points.iter().map(f).sum::<f64>() / n;
         let cov = points.iter().map(|p| (p.0 - mx) * (f(p) - my)).sum::<f64>();
-        let vx = points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>().sqrt();
-        let vy = points.iter().map(|p| (f(p) - my).powi(2)).sum::<f64>().sqrt();
+        let vx = points
+            .iter()
+            .map(|p| (p.0 - mx).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let vy = points
+            .iter()
+            .map(|p| (f(p) - my).powi(2))
+            .sum::<f64>()
+            .sqrt();
         cov / (vx * vy)
     };
     exp10.note(format!(
         "correlation(vars, setup seconds) = {:.3} (1.0 = perfectly linear)",
         corr(&|p| p.1)
     ));
-    exp11.note(format!(
-        "correlation(vars, memory) = {:.3}",
-        corr(&|p| p.2)
-    ));
+    exp11.note(format!("correlation(vars, memory) = {:.3}", corr(&|p| p.2)));
     exp10.finish();
     exp11.finish();
 }

@@ -22,11 +22,7 @@ use ras_core::rru::RruTable;
 use ras_core::SolverParams;
 use ras_topology::{Region, RegionBuilder, RegionTemplate, ServerId};
 
-fn weighted_share(
-    region: &Region,
-    specs: &[ReservationSpec],
-    broker: &ResourceBroker,
-) -> f64 {
+fn weighted_share(region: &Region, specs: &[ReservationSpec], broker: &ResourceBroker) -> f64 {
     let targets: Vec<Option<ReservationId>> = broker.iter().map(|(_, r)| r.current).collect();
     let acct = buffers::account(region, specs, &targets);
     let weights: Vec<f64> = (0..specs.len())
@@ -62,9 +58,7 @@ fn main() {
     let newer_compute = {
         let mut rru = RruTable::empty(&region.catalog);
         for hw in region.catalog.iter() {
-            if !hw.has_accelerator()
-                && hw.generation != ras_topology::ProcessorGeneration::Gen1
-            {
+            if !hw.has_accelerator() && hw.generation != ras_topology::ProcessorGeneration::Gen1 {
                 rru.set(hw.id, 1.0);
             }
         }
@@ -77,11 +71,7 @@ fn main() {
             } else {
                 RruTable::uniform(&region.catalog, 1.0)
             };
-            ReservationSpec::guaranteed(
-                format!("svc{i}"),
-                (90.0 + 35.0 * i as f64).round(),
-                rru,
-            )
+            ReservationSpec::guaranteed(format!("svc{i}"), (90.0 + 35.0 * i as f64).round(), rru)
         })
         .collect();
     for s in &specs {
@@ -188,7 +178,10 @@ fn main() {
         // Demand-weighted water-filling bound across services.
         let mut acc = 0.0;
         let mut wsum = 0.0;
-        for spec in specs.iter().filter(|s| s.kind == ReservationKind::Guaranteed) {
+        for spec in specs
+            .iter()
+            .filter(|s| s.kind == ReservationKind::Guaranteed)
+        {
             if let Some(b) = buffers::optimal_share_bound(&region, spec) {
                 acc += b * spec.capacity;
                 wsum += spec.capacity;

@@ -93,7 +93,13 @@ fn main() {
         "fig13",
         "Spread of 30 services across MSBs (share per MSB, %)",
         "most services near-uniform over all MSBs; old/new-hardware and single-DC exceptions",
-        &["service", "msbs used", "max share %", "uniform would be %", "shares"],
+        &[
+            "service",
+            "msbs used",
+            "max share %",
+            "uniform would be %",
+            "shares",
+        ],
     );
     for (ri, spec) in specs.iter().enumerate() {
         let total: usize = counts[ri].iter().sum();
@@ -138,6 +144,9 @@ fn main() {
         .filter(|s| out.targets[s.id.index()] == Some(ras_broker::ReservationId(12)))
         .map(|s| s.datacenter)
         .collect();
-    exp.note(format!("svc13-ml spans {} datacenter(s) (paper: 1)", ml_dcs.len()));
+    exp.note(format!(
+        "svc13-ml spans {} datacenter(s) (paper: 1)",
+        ml_dcs.len()
+    ));
     exp.finish();
 }

@@ -37,7 +37,10 @@ fn main() {
     let budget = power::default_budget(&region);
     let allocated_power = |broker: &ResourceBroker| {
         power::measure_with(&region, budget, |s: ServerId| {
-            broker.record(s).map(|r| r.current.is_some()).unwrap_or(false)
+            broker
+                .record(s)
+                .map(|r| r.current.is_some())
+                .unwrap_or(false)
         })
     };
 
@@ -45,7 +48,13 @@ fn main() {
         "fig14",
         "Per-MSB power-utilization variance over four months",
         "variance 0.9 → 0.2 as RAS rolls out; peak headroom ≈0 → 11%",
-        &["month", "allocator", "normalized variance", "relative to month 1", "peak headroom %"],
+        &[
+            "month",
+            "allocator",
+            "normalized variance",
+            "relative to month 1",
+            "peak headroom %",
+        ],
     );
 
     // Month 1: greedy.

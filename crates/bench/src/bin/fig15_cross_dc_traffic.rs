@@ -57,7 +57,13 @@ fn main() {
         "fig15",
         "Cross-DC traffic % for Presto services as affinity constraints roll out",
         "batch reduced >2.3×, interactive 1.6×; neither goes to zero (balance with spread goals)",
-        &["week", "batch affinity", "interactive affinity", "batch cross-DC %", "interactive cross-DC %"],
+        &[
+            "week",
+            "batch affinity",
+            "interactive affinity",
+            "batch cross-DC %",
+            "interactive cross-DC %",
+        ],
     );
     let mut baseline: Option<(f64, f64)> = None;
     let mut final_pair = (0.0, 0.0);
@@ -90,7 +96,11 @@ fn main() {
         for s in &specs {
             broker.register_reservation(&s.name);
         }
-        match solver.solve(&region, &specs, &broker.snapshot(SimTime::from_days(week * 7))) {
+        match solver.solve(
+            &region,
+            &specs,
+            &broker.snapshot(SimTime::from_days(week * 7)),
+        ) {
             Ok(out) => {
                 let b = network::measure(&region, &specs[0], &batch_service, &out.targets);
                 let i = network::measure(&region, &specs[1], &interactive_service, &out.targets);

@@ -73,7 +73,9 @@ fn main() {
     let mut rng_state = 0x1234_5678_u64;
     let mut rand01 = move || {
         // Tiny deterministic LCG, enough to thin out request arrivals.
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng_state >> 33) as f64 / (1u64 << 31) as f64
     };
     let week_start = sim.now().as_hours();

@@ -43,7 +43,10 @@ fn main() {
         "≈94% guaranteed, 2% random buffer, 4.2% embedded buffer (bounds 4.06% / 2.8%)",
         &["bucket", "% of servers"],
     );
-    exp.row(&["guaranteed".into(), fmt(acct.guaranteed_fraction * 100.0, 1)]);
+    exp.row(&[
+        "guaranteed".into(),
+        fmt(acct.guaranteed_fraction * 100.0, 1),
+    ]);
     exp.row(&[
         "shared random-failure buffer".into(),
         fmt(acct.random_buffer_fraction * 100.0, 1),

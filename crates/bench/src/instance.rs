@@ -34,7 +34,12 @@ pub struct Instance {
 /// `reservations` counts the guaranteed reservations (headline profiles
 /// first, then generated requests); utilization sets the fraction of
 /// fleet RRUs requested in total.
-pub fn build(template: RegionTemplate, seed: u64, reservations: usize, utilization: f64) -> Instance {
+pub fn build(
+    template: RegionTemplate,
+    seed: u64,
+    reservations: usize,
+    utilization: f64,
+) -> Instance {
     let region = RegionBuilder::new(template, seed).build();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
     let mut broker = ResourceBroker::new(region.server_count());
@@ -86,7 +91,10 @@ pub fn build(template: RegionTemplate, seed: u64, reservations: usize, utilizati
     }
     for i in 0..region.server_count() {
         let s = ServerId::from_index(i);
-        let bound = broker.record(s).map(|r| r.current.is_some()).unwrap_or(false);
+        let bound = broker
+            .record(s)
+            .map(|r| r.current.is_some())
+            .unwrap_or(false);
         if bound && rng.gen::<f64>() < 0.8 {
             let _ = broker.set_running_containers(s, rng.gen_range(1..6));
         }
@@ -105,8 +113,7 @@ pub fn perturb(instance: &mut Instance, round: u64) {
     let mut rng = StdRng::seed_from_u64(round.wrapping_mul(0x51ab_cd12));
     // Resize ~10 % of guaranteed reservations by ±10 %.
     for spec in instance.specs.iter_mut() {
-        if spec.kind == ras_core::reservation::ReservationKind::Guaranteed
-            && rng.gen::<f64>() < 0.1
+        if spec.kind == ras_core::reservation::ReservationKind::Guaranteed && rng.gen::<f64>() < 0.1
         {
             let factor = 0.9 + rng.gen::<f64>() * 0.2;
             spec.capacity = (spec.capacity * factor).max(2.0).round();
@@ -115,7 +122,11 @@ pub fn perturb(instance: &mut Instance, round: u64) {
     // A handful of random failures and recoveries.
     for _ in 0..3 {
         let s = ServerId::from_index(rng.gen_range(0..instance.region.server_count()));
-        let up = instance.broker.record(s).map(|r| r.is_up()).unwrap_or(false);
+        let up = instance
+            .broker
+            .record(s)
+            .map(|r| r.is_up())
+            .unwrap_or(false);
         if up {
             let _ = instance.broker.mark_down(ras_broker::UnavailabilityEvent {
                 server: s,

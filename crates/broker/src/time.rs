@@ -114,6 +114,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(SimTime::from_hours(26).plus_secs(61).to_string(), "d1+02:01:01");
+        assert_eq!(
+            SimTime::from_hours(26).plus_secs(61).to_string(),
+            "d1+02:01:01"
+        );
     }
 }

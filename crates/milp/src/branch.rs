@@ -14,7 +14,7 @@ use std::time::Instant;
 use crate::branching::PseudoCosts;
 use crate::model::{Model, VarType};
 use crate::simplex::{solve_lp, solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
-use crate::solution::{SolveConfig, SolveError, SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveConfig, SolveError, SolveStats, Status};
 use crate::standard::StandardForm;
 
 /// Branch-and-bound MIP solver.
@@ -98,9 +98,7 @@ impl BranchAndBound {
         // catch plain infeasibility before any simplex work.
         let tightened = match crate::presolve::tighten(model) {
             Ok(t) => t,
-            Err(crate::presolve::PresolveError::Infeasible) => {
-                return Err(SolveError::Infeasible)
-            }
+            Err(crate::presolve::PresolveError::Infeasible) => return Err(SolveError::Infeasible),
         };
         let mut root_lower = sf.lower.clone();
         let mut root_upper = sf.upper.clone();
@@ -120,11 +118,26 @@ impl BranchAndBound {
         let root = solve_lp(&sf, &root_lower, &root_upper, &lp_config);
         stats.root_lp_seconds = root_start.elapsed().as_secs_f64();
         stats.simplex_iterations += root.iterations;
+        stats.lp_refactorizations += root.refactorizations;
         match root.status {
             LpStatus::Infeasible => return Err(SolveError::Infeasible),
             LpStatus::Unbounded => return Err(SolveError::Unbounded),
+            LpStatus::TooLarge => return Err(SolveError::TooLarge),
             LpStatus::IterationLimit | LpStatus::Optimal => {}
         }
+        // An iteration-limited root proves nothing: its objective must
+        // never be used as a bound (it once leaked in as one, overstating
+        // `best_bound` whenever the root LP timed out).
+        let root_optimal = root.status == LpStatus::Optimal;
+        let root_bound = if root_optimal {
+            debug_assert!(
+                root.objective.is_finite(),
+                "optimal LP with non-finite objective"
+            );
+            root.objective
+        } else {
+            f64::NEG_INFINITY
+        };
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         if let Some(init) = &self.config.initial_incumbent {
@@ -137,38 +150,43 @@ impl BranchAndBound {
                 incumbent = Some((obj, values));
             }
         }
-        if let Some(frac) = self.most_fractional(&root.values, &int_vars) {
-            // Try the rounding/diving heuristic for an early incumbent.
-            if self.config.use_heuristics {
-                if let Some((obj, values)) = self.dive(
-                    model,
-                    &sf,
-                    &root_lower,
-                    &root_upper,
-                    &root,
-                    &int_vars,
-                    &lp_config,
-                    &mut stats,
-                    start,
-                ) {
-                    if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
-                        incumbent = Some((obj, values));
+        // Both the dive and the integral-root shortcut require a *proven*
+        // root optimum; an iteration-limited root goes straight to the
+        // search, which will re-solve it.
+        if root_optimal {
+            if let Some(frac) = self.most_fractional(&root.values, &int_vars) {
+                // Try the rounding/diving heuristic for an early incumbent.
+                if self.config.use_heuristics {
+                    if let Some((obj, values)) = self.dive(
+                        model,
+                        &sf,
+                        &root_lower,
+                        &root_upper,
+                        &root,
+                        &int_vars,
+                        &lp_config,
+                        &mut stats,
+                        start,
+                    ) {
+                        if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
+                            incumbent = Some((obj, values));
+                        }
                     }
                 }
+                let _ = frac;
+            } else {
+                // Root relaxation is already integral.
+                let (obj, values) = self.snap(model, &root, &int_vars);
+                stats.best_bound = obj;
+                stats.nodes = 1;
+                stats.solve_seconds = start.elapsed().as_secs_f64();
+                return Ok(Solution {
+                    status: Status::Optimal,
+                    objective: obj,
+                    values,
+                    stats,
+                });
             }
-            let _ = frac;
-        } else {
-            // Root relaxation is already integral.
-            let (obj, values) = self.snap(model, &root, &int_vars);
-            stats.best_bound = obj;
-            stats.nodes = 1;
-            stats.solve_seconds = start.elapsed().as_secs_f64();
-            return Ok(Solution {
-                status: Status::Optimal,
-                objective: obj,
-                values,
-                stats,
-            });
         }
 
         // Best-bound search.
@@ -180,15 +198,20 @@ impl BranchAndBound {
             depth: 0,
             warm: root_basis,
             branch: None,
-            parent_bound: root.objective,
+            parent_bound: root_bound,
         }];
         let mut heap = BinaryHeap::new();
         heap.push(HeapEntry {
-            bound: root.objective,
+            bound: root_bound,
             depth: 0,
             index: 0,
         });
-        let mut best_open_bound = root.objective;
+        let mut best_open_bound = root_bound;
+        // Weakest bound among subtrees the search abandoned (LP iteration
+        // limit / size refusal). It must stay in the final open-bound
+        // accounting: silently dropping those nodes let `best_bound`
+        // overclaim whatever optimum they might have contained.
+        let mut abandoned_bound = f64::INFINITY;
         let mut hit_limit = false;
         let mut stall_nodes = 0usize;
         let mut last_bound = f64::NEG_INFINITY;
@@ -231,15 +254,24 @@ impl BranchAndBound {
             );
             stats.nodes += 1;
             stats.simplex_iterations += lp.iterations;
+            stats.lp_refactorizations += lp.refactorizations;
             match lp.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => return Err(SolveError::Unbounded),
-                LpStatus::IterationLimit => {
+                LpStatus::IterationLimit | LpStatus::TooLarge => {
+                    // Abandoning the subtree is fine, forgetting it is
+                    // not: its parent bound stays in the accounting.
                     hit_limit = true;
+                    abandoned_bound = abandoned_bound.min(entry.bound);
                     continue;
                 }
                 LpStatus::Optimal => {}
             }
+            debug_assert!(
+                lp.objective.is_finite(),
+                "optimal node LP with non-finite objective {}",
+                lp.objective
+            );
             // Pseudo-cost learning: the degradation this branch caused.
             if let Some((var, went_up, frac)) = nodes[entry.index].branch {
                 pseudo.record(
@@ -274,8 +306,7 @@ impl BranchAndBound {
                 }
             }
             let node = &nodes[entry.index];
-            match crate::branching::select(&lp.values, &int_vars, self.config.int_tol, &pseudo)
-            {
+            match crate::branching::select(&lp.values, &int_vars, self.config.int_tol, &pseudo) {
                 None => {
                     let (obj, values) = self.snap(model, &lp, &int_vars);
                     if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
@@ -336,7 +367,8 @@ impl BranchAndBound {
             .iter()
             .map(|e| e.bound)
             .fold(f64::INFINITY, f64::min)
-            .min(best_open_bound);
+            .min(best_open_bound)
+            .min(abandoned_bound);
         match incumbent {
             Some((obj, values)) => {
                 stats.best_bound = if heap.is_empty() && !hit_limit {
@@ -344,6 +376,12 @@ impl BranchAndBound {
                 } else {
                     open_bound.min(obj)
                 };
+                debug_assert!(
+                    stats.best_bound <= obj + 1e-6,
+                    "best_bound {} overclaims incumbent {}",
+                    stats.best_bound,
+                    obj
+                );
                 stats.absolute_gap = (obj - stats.best_bound).max(0.0);
                 stats.gap = stats.absolute_gap / obj.abs().max(1.0);
                 let status = if stats.absolute_gap <= self.config.abs_gap_tol
@@ -444,13 +482,16 @@ impl BranchAndBound {
                         }
                     }
                     let fixed = least.map(|(j, _)| {
-                        let v = current.values[j].round().clamp(root_lower[j], root_upper[j]);
+                        let v = current.values[j]
+                            .round()
+                            .clamp(root_lower[j], root_upper[j]);
                         lower[j] = v;
                         upper[j] = v;
                         (j, v)
                     });
                     let mut lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
                     stats.simplex_iterations += lp.iterations;
+                    stats.lp_refactorizations += lp.refactorizations;
                     if lp.status != LpStatus::Optimal {
                         // Rounding to nearest may have cut off feasibility;
                         // retry the opposite rounding direction once.
@@ -465,6 +506,7 @@ impl BranchAndBound {
                         upper[j] = other;
                         lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
                         stats.simplex_iterations += lp.iterations;
+                        stats.lp_refactorizations += lp.refactorizations;
                         if lp.status != LpStatus::Optimal {
                             return None;
                         }
@@ -667,6 +709,10 @@ mod tests {
         );
         m.set_objective(LinExpr::from(t));
         let s = m.solve().unwrap();
-        assert!((s.objective - 6.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 6.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 }

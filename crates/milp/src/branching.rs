@@ -184,6 +184,9 @@ mod tests {
         pseudo.record(1, true, 0.5, 3.0);
         let s0 = pseudo.score(0, 0.5);
         let s1 = pseudo.score(1, 0.5);
-        assert!(s1 > s0, "balanced improvement beats one-sided: {s1} vs {s0}");
+        assert!(
+            s1 > s0,
+            "balanced improvement beats one-sided: {s1} vs {s0}"
+        );
     }
 }

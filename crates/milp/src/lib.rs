@@ -12,8 +12,12 @@
 //! * [`presolve`] — interval-propagation bound tightening and cheap
 //!   infeasibility detection, run before the search;
 //! * [`standard`] — conversion to computational standard form;
+//! * [`lu`] — sparse LU factorization (Gilbert–Peierls left-looking
+//!   elimination) backing the large-instance basis engine;
 //! * [`simplex`] — a bounded-variable, two-phase revised primal simplex
-//!   with dense basis inverse and periodic refactorization;
+//!   with a pluggable basis engine: dense inverse for small instances,
+//!   sparse LU plus eta-file updates for region-scale models, both with
+//!   periodic refactorization;
 //! * [`branch`] — best-bound branch-and-bound with pseudo-cost /
 //!   most-fractional branching, rounding/diving incumbent heuristics, gap
 //!   reporting and node/time limits (Figure 9 measures exactly this gap);
@@ -41,6 +45,7 @@ pub mod branching;
 pub mod expr;
 pub mod localsearch;
 pub mod lpfile;
+pub mod lu;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
@@ -52,4 +57,4 @@ pub use branch::BranchAndBound;
 pub use expr::{LinExpr, Var};
 pub use localsearch::LocalSearch;
 pub use model::{Constraint, Model, Sense, VarType};
-pub use solution::{SolveConfig, SolveError, SolveStats, Solution, Status};
+pub use solution::{Solution, SolveConfig, SolveError, SolveStats, Status};

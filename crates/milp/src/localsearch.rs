@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{Model, Sense, VarType};
-use crate::solution::{SolveError, SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveError, SolveStats, Status};
 
 /// Configuration for the local-search backend.
 #[derive(Debug, Clone)]
@@ -116,7 +116,11 @@ impl LocalSearch {
         let mut objective: f64 =
             model.objective().constant + (0..n).map(|j| obj_coeff[j] * values[j]).sum::<f64>();
 
-        let obj_scale = obj_coeff.iter().map(|c| c.abs()).fold(0.0, f64::max).max(1.0);
+        let obj_scale = obj_coeff
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max)
+            .max(1.0);
         let mut temperature = self.config.initial_temperature * obj_scale;
         let cooling = 0.999_97f64;
 
@@ -198,6 +202,7 @@ impl LocalSearch {
         let stats = SolveStats {
             nodes: proposals,
             simplex_iterations: 0,
+            lp_refactorizations: 0,
             solve_seconds: start.elapsed().as_secs_f64(),
             best_bound: f64::NEG_INFINITY,
             absolute_gap: f64::INFINITY,
@@ -232,7 +237,9 @@ mod tests {
         let c = m.add_var("c", VarType::Binary, 0.0, 1.0);
         m.add_constraint("w", 3.0 * a + 4.0 * b + 2.0 * c, Sense::Le, 6.0);
         m.set_objective(-10.0 * a - 13.0 * b - 7.0 * c);
-        let s = LocalSearch::new(LocalSearchConfig::default()).solve(&m).unwrap();
+        let s = LocalSearch::new(LocalSearchConfig::default())
+            .solve(&m)
+            .unwrap();
         assert_eq!(s.status, Status::Feasible);
         assert!(m.violations(&s.values, 1e-6).is_empty());
         assert_eq!(s.objective.round(), -20.0);
@@ -245,7 +252,9 @@ mod tests {
         let y = m.add_var("y", VarType::Integer, 0.0, 20.0);
         m.add_constraint("eq", 1.0 * x + 1.0 * y, Sense::Eq, 10.0);
         m.set_objective(2.0 * x + 1.0 * y);
-        let s = LocalSearch::new(LocalSearchConfig::default()).solve(&m).unwrap();
+        let s = LocalSearch::new(LocalSearchConfig::default())
+            .solve(&m)
+            .unwrap();
         assert!(m.violations(&s.values, 1e-6).is_empty());
         // Heuristic backend: feasibility is guaranteed, optimality is not
         // (single-coordinate moves cannot cross the x + y = 10 manifold).

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::branch::BranchAndBound;
 use crate::expr::{LinExpr, Var};
-use crate::solution::{SolveConfig, SolveError, Solution};
+use crate::solution::{Solution, SolveConfig, SolveError};
 
 /// Variable integrality class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,7 +183,12 @@ impl Model {
     /// `t = max(0, expr)` exactly. Used by Expressions 1–3 of the paper.
     pub fn max_of_zero(&mut self, name: impl Into<String>, expr: impl Into<LinExpr>) -> Var {
         let name = name.into();
-        let t = self.add_var(format!("{name}.max0"), VarType::Continuous, 0.0, f64::INFINITY);
+        let t = self.add_var(
+            format!("{name}.max0"),
+            VarType::Continuous,
+            0.0,
+            f64::INFINITY,
+        );
         // t >= expr  <=>  expr - t <= 0.
         self.add_constraint(format!("{name}.ub"), expr.into() - t, Sense::Le, 0.0);
         t

@@ -1,13 +1,30 @@
 //! Bounded-variable, two-phase revised primal simplex.
 //!
-//! The engine keeps a dense basis inverse `B⁻¹`, updated by pivot row
-//! operations (product form) and rebuilt by Gauss-Jordan elimination every
-//! few hundred pivots to bound numerical drift. Feasibility is obtained
-//! with one artificial variable per row (phase 1 minimizes their sum),
-//! after which phase 2 minimizes the true objective. Anti-cycling uses
-//! Bland's rule after a run of degenerate pivots.
+//! The engine abstracts its basis-inverse representation behind
+//! [`BasisEngine`]: a dense `B⁻¹` (product-form updates, Gauss-Jordan
+//! refactorization) for small instances, and a sparse LU factorization
+//! (see [`crate::lu`]) with an eta file of product-form updates for
+//! region-scale models, where `m²` doubles would not even fit in memory.
+//! Both are rebuilt every few hundred pivots to bound numerical drift.
+//!
+//! Feasibility starts from a *crash* basis: every row whose residual fits
+//! inside its slack's bounds gets the slack basic (no phase-1 work);
+//! only the remaining rows receive an artificial variable, and phase 1
+//! minimizes their sum. Phase 2 then minimizes the true objective.
+//! Anti-cycling uses Bland's rule after a run of degenerate pivots.
 
+use crate::lu::LuFactors;
 use crate::standard::StandardForm;
+
+/// Above this row count, [`BasisEngine::Auto`] switches from the dense
+/// basis inverse to the sparse LU engine.
+pub const AUTO_DENSE_MAX_ROWS: usize = 256;
+
+/// Hard row cap for the *explicitly requested* dense engine: the dense
+/// `B⁻¹` needs `m²` doubles, so beyond this the solve is refused with
+/// [`LpStatus::TooLarge`] instead of aborting on out-of-memory.
+/// [`BasisEngine::Auto`] and [`BasisEngine::SparseLu`] have no cap.
+pub const DENSE_MAX_ROWS: usize = 25_000;
 
 /// Outcome status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +37,10 @@ pub enum LpStatus {
     Unbounded,
     /// Iteration limit reached before optimality.
     IterationLimit,
+    /// The model exceeds the requested engine's size cap (only the
+    /// explicit dense engine has one). The result carries no usable
+    /// objective or bound; callers must branch on this status.
+    TooLarge,
 }
 
 /// Result of an LP solve.
@@ -27,12 +48,18 @@ pub enum LpStatus {
 pub struct LpResult {
     /// Status.
     pub status: LpStatus,
-    /// Objective value (meaningful for `Optimal` and `IterationLimit`).
+    /// Objective value (meaningful for `Optimal` and `IterationLimit`;
+    /// NaN for `TooLarge`, which proves nothing).
     pub objective: f64,
     /// Values for all structural + slack columns.
     pub values: Vec<f64>,
+    /// Row duals `y` from the final pricing pass (meaningful on
+    /// `Optimal`; empty when there are no rows or the solve was refused).
+    pub duals: Vec<f64>,
     /// Total simplex iterations across both phases.
     pub iterations: usize,
+    /// Basis (re)factorizations performed.
+    pub refactorizations: usize,
     /// Optimal basis snapshot (present on `Optimal`), usable to warm-start
     /// a re-solve after bound changes via [`solve_lp_warm`].
     pub basis: Option<Basis>,
@@ -46,6 +73,19 @@ pub struct Basis {
     pub basis: Vec<usize>,
     /// Nonbasic-at-upper flag for the `n + m` real columns.
     pub at_upper: Vec<bool>,
+}
+
+/// Which basis-inverse representation the simplex engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisEngine {
+    /// Dense up to [`AUTO_DENSE_MAX_ROWS`] rows, sparse LU above.
+    #[default]
+    Auto,
+    /// Dense `B⁻¹`, refused beyond [`DENSE_MAX_ROWS`] rows. Kept for
+    /// differential testing against the sparse engine.
+    Dense,
+    /// Sparse LU factors plus an eta file; no size cap.
+    SparseLu,
 }
 
 /// Tuning knobs for the simplex engine.
@@ -64,8 +104,10 @@ pub struct SimplexConfig {
     pub pivot_tol: f64,
     /// Primal feasibility tolerance.
     pub feas_tol: f64,
-    /// Rebuild `B⁻¹` after this many pivots.
+    /// Rebuild the basis representation after this many pivots.
     pub refactor_interval: usize,
+    /// Basis-inverse representation (see [`BasisEngine`]).
+    pub engine: BasisEngine,
 }
 
 impl Default for SimplexConfig {
@@ -77,6 +119,7 @@ impl Default for SimplexConfig {
             pivot_tol: 1e-9,
             feas_tol: 1e-7,
             refactor_interval: 200,
+            engine: BasisEngine::default(),
         }
     }
 }
@@ -92,20 +135,22 @@ pub fn solve_lp(
     upper: &[f64],
     config: &SimplexConfig,
 ) -> LpResult {
-    // The dense basis inverse needs m² doubles; refuse politely instead
-    // of aborting on out-of-memory for models beyond this engine's reach
-    // (production-scale models belong to a sparse-LU engine).
-    const MAX_ROWS: usize = 25_000;
-    if sf.num_rows > MAX_ROWS {
+    if config.engine == BasisEngine::Dense && sf.num_rows > DENSE_MAX_ROWS {
         return LpResult {
-            status: LpStatus::IterationLimit,
-            objective: f64::NEG_INFINITY,
+            status: LpStatus::TooLarge,
+            // NaN on purpose: a refused solve proves nothing about the
+            // optimum, and callers must branch on the status instead of
+            // consuming the objective (an earlier NEG_INFINITY here once
+            // leaked into branch-and-bound as a "proven" bound).
+            objective: f64::NAN,
             values: lower
                 .iter()
                 .zip(upper)
-                .map(|(l, u)| l.clamp(f64::MIN, *u).max(0.0_f64.clamp(*l, *u)))
+                .map(|(l, u)| 0.0_f64.max(*l).min(*u))
                 .collect(),
+            duals: Vec::new(),
             iterations: 0,
+            refactorizations: 0,
             basis: None,
         };
     }
@@ -127,7 +172,10 @@ pub fn solve_lp_warm(
     warm: Option<&Basis>,
 ) -> LpResult {
     if let Some(basis) = warm {
-        if sf.num_rows > 0 && basis.basis.len() == sf.num_rows {
+        if sf.num_rows > 0
+            && basis.basis.len() == sf.num_rows
+            && !(config.engine == BasisEngine::Dense && sf.num_rows > DENSE_MAX_ROWS)
+        {
             let simplex = Simplex::new(sf, lower, upper, config.clone());
             if let Some(result) = simplex.run_warm(basis) {
                 return result;
@@ -135,6 +183,304 @@ pub fn solve_lp_warm(
         }
     }
     solve_lp(sf, lower, upper, config)
+}
+
+/// One product-form (eta) update: after a pivot on basis slot `row` with
+/// direction `w = B⁻¹A_q`, the new inverse is `E·B⁻¹` where `E` is the
+/// identity except for column `row`, rebuilt from `w`.
+struct Eta {
+    row: usize,
+    pivot: f64,
+    /// Off-pivot nonzeros of `w`.
+    entries: Vec<(u32, f64)>,
+}
+
+/// Dense basis inverse: row-major `B⁻¹` with rows indexed by basis slot
+/// and columns by constraint row.
+struct DenseBasis {
+    m: usize,
+    binv: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl DenseBasis {
+    fn new(m: usize) -> Self {
+        Self {
+            m,
+            binv: vec![0.0; m * m],
+            scratch: vec![0.0; m],
+        }
+    }
+
+    fn reset_diagonal(&mut self, signs: &[f64]) {
+        self.binv.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &s) in signs.iter().enumerate() {
+            self.binv[i * self.m + i] = s;
+        }
+    }
+
+    /// `v := B⁻¹ v` (row space in, slot space out), exploiting sparsity
+    /// of the input.
+    fn ftran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        self.scratch.iter_mut().for_each(|s| *s = 0.0);
+        for (col, &val) in v.iter().enumerate() {
+            if val != 0.0 {
+                for (r, s) in self.scratch.iter_mut().enumerate() {
+                    *s += self.binv[r * m + col] * val;
+                }
+            }
+        }
+        v.copy_from_slice(&self.scratch);
+    }
+
+    /// `v := B⁻ᵀ v` (slot space in, row space out), exploiting sparsity
+    /// of the input.
+    fn btran(&mut self, v: &mut [f64]) {
+        let m = self.m;
+        self.scratch.iter_mut().for_each(|s| *s = 0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (k, s) in self.scratch.iter_mut().enumerate() {
+                    *s += vi * row[k];
+                }
+            }
+        }
+        v.copy_from_slice(&self.scratch);
+    }
+
+    fn rho(&self, row: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.binv[row * self.m..(row + 1) * self.m]);
+    }
+
+    /// Product-form update of `B⁻¹` after a pivot at `row` with
+    /// direction `w`.
+    fn update(&mut self, row: usize, w: &[f64]) {
+        let m = self.m;
+        let pivot_val = w[row];
+        let (head, tail) = self.binv.split_at_mut(row * m);
+        let (pivot_row, rest) = tail.split_at_mut(m);
+        for v in pivot_row.iter_mut() {
+            *v /= pivot_val;
+        }
+        for (i, chunk) in head.chunks_mut(m).enumerate() {
+            let w_i = w[i];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+        for (k, chunk) in rest.chunks_mut(m).enumerate() {
+            let w_i = w[row + 1 + k];
+            if w_i != 0.0 {
+                for (c, v) in chunk.iter_mut().enumerate() {
+                    *v -= w_i * pivot_row[c];
+                }
+            }
+        }
+    }
+
+    /// Rebuilds `B⁻¹` by Gauss-Jordan elimination with partial pivoting.
+    /// Returns false (keeping the old inverse) on a singular basis.
+    fn refactor(&mut self, cols: &[Vec<(usize, f64)>]) -> bool {
+        let m = self.m;
+        let mut b_mat = vec![0.0; m * m];
+        for (col, entries) in cols.iter().enumerate() {
+            for &(r, v) in entries {
+                b_mat[r * m + col] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best_row = col;
+            let mut best = b_mat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = b_mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    best_row = r;
+                }
+            }
+            if best <= 1e-12 {
+                return false;
+            }
+            if best_row != col {
+                for k in 0..m {
+                    b_mat.swap(col * m + k, best_row * m + k);
+                    inv.swap(col * m + k, best_row * m + k);
+                }
+            }
+            let p = b_mat[col * m + col];
+            for k in 0..m {
+                b_mat[col * m + k] /= p;
+                inv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = b_mat[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        b_mat[r * m + k] -= f * b_mat[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        true
+    }
+}
+
+/// Sparse basis: an LU factorization plus the eta file of product-form
+/// updates accumulated since the last refactorization (oldest first).
+struct SparseBasis {
+    m: usize,
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    scratch: Vec<f64>,
+}
+
+impl SparseBasis {
+    fn new(m: usize) -> Self {
+        Self {
+            m,
+            lu: LuFactors::diagonal(&vec![1.0; m]),
+            etas: Vec::new(),
+            scratch: vec![0.0; m],
+        }
+    }
+
+    fn reset_diagonal(&mut self, signs: &[f64]) {
+        self.lu = LuFactors::diagonal(signs);
+        self.etas.clear();
+    }
+
+    /// `v := B⁻¹ v`: LU solve, then the etas in creation order.
+    fn ftran(&mut self, v: &mut [f64]) {
+        self.lu.ftran(v, &mut self.scratch);
+        for eta in &self.etas {
+            let t = v[eta.row] / eta.pivot;
+            v[eta.row] = t;
+            if t != 0.0 {
+                for &(r, wv) in &eta.entries {
+                    v[r as usize] -= wv * t;
+                }
+            }
+        }
+    }
+
+    /// `v := B⁻ᵀ v`: eta transposes in reverse order, then the LU solve.
+    fn btran(&mut self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.row];
+            for &(r, wv) in &eta.entries {
+                s -= wv * v[r as usize];
+            }
+            v[eta.row] = s / eta.pivot;
+        }
+        self.lu.btran(v, &mut self.scratch);
+    }
+
+    fn rho(&mut self, row: usize, out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        out[row] = 1.0;
+        self.btran(out);
+    }
+
+    fn update(&mut self, row: usize, w: &[f64]) {
+        let entries = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &wv)| i != row && wv != 0.0)
+            .map(|(i, &wv)| (i as u32, wv))
+            .collect();
+        self.etas.push(Eta {
+            row,
+            pivot: w[row],
+            entries,
+        });
+    }
+
+    fn refactor(&mut self, cols: &[Vec<(usize, f64)>]) -> bool {
+        match LuFactors::factorize(self.m, cols, 1e-12) {
+            Some(lu) => {
+                self.lu = lu;
+                self.etas.clear();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Basis-inverse representation, dispatching to the dense or sparse
+/// engine (see [`BasisEngine`]).
+// One instance lives per simplex solve; the size spread between the
+// variants is irrelevant and boxing would only add an indirection.
+#[allow(clippy::large_enum_variant)]
+enum BasisRepr {
+    Dense(DenseBasis),
+    Sparse(SparseBasis),
+}
+
+impl BasisRepr {
+    /// Installs the inverse of the diagonal crash basis `diag(signs)`.
+    fn reset_diagonal(&mut self, signs: &[f64]) {
+        match self {
+            BasisRepr::Dense(d) => d.reset_diagonal(signs),
+            BasisRepr::Sparse(s) => s.reset_diagonal(signs),
+        }
+    }
+
+    /// `v := B⁻¹ v` (constraint-row space in, basis-slot space out).
+    fn ftran(&mut self, v: &mut [f64]) {
+        match self {
+            BasisRepr::Dense(d) => d.ftran(v),
+            BasisRepr::Sparse(s) => s.ftran(v),
+        }
+    }
+
+    /// `v := B⁻ᵀ v` (basis-slot space in, constraint-row space out).
+    fn btran(&mut self, v: &mut [f64]) {
+        match self {
+            BasisRepr::Dense(d) => d.btran(v),
+            BasisRepr::Sparse(s) => s.btran(v),
+        }
+    }
+
+    /// Row `row` of `B⁻¹` (equivalently `B⁻ᵀ e_row`) into `out`.
+    fn rho(&mut self, row: usize, out: &mut [f64]) {
+        match self {
+            BasisRepr::Dense(d) => d.rho(row, out),
+            BasisRepr::Sparse(s) => s.rho(row, out),
+        }
+    }
+
+    /// Product-form update after a pivot at slot `row` with direction
+    /// `w = B⁻¹A_q` (dense: rank-one row operations; sparse: eta push).
+    fn update(&mut self, row: usize, w: &[f64]) {
+        match self {
+            BasisRepr::Dense(d) => d.update(row, w),
+            BasisRepr::Sparse(s) => s.update(row, w),
+        }
+    }
+
+    /// Rebuilds the representation from the given basis columns. Returns
+    /// false on a numerically singular basis, keeping the old state.
+    fn refactor(&mut self, cols: &[Vec<(usize, f64)>]) -> bool {
+        match self {
+            BasisRepr::Dense(d) => d.refactor(cols),
+            BasisRepr::Sparse(s) => s.refactor(cols),
+        }
+    }
 }
 
 struct Simplex<'a> {
@@ -152,18 +498,20 @@ struct Simplex<'a> {
     basis: Vec<usize>,
     /// Row of a basic variable, or `usize::MAX` when nonbasic.
     position: Vec<usize>,
-    /// Dense row-major `B⁻¹`.
-    binv: Vec<f64>,
+    /// Basis-inverse representation (dense or sparse LU).
+    repr: BasisRepr,
     /// Current value of every variable.
     x: Vec<f64>,
     /// Nonbasic-at-upper flag.
     at_upper: Vec<bool>,
     iterations: usize,
+    refactorizations: usize,
     pivots_since_refactor: usize,
     degenerate_run: usize,
     // Scratch buffers.
     y: Vec<f64>,
     w: Vec<f64>,
+    rho: Vec<f64>,
 }
 
 impl<'a> Simplex<'a> {
@@ -177,6 +525,11 @@ impl<'a> Simplex<'a> {
         up.extend_from_slice(upper);
         lo.extend(std::iter::repeat_n(0.0, m));
         up.extend(std::iter::repeat_n(f64::INFINITY, m));
+        let use_sparse = match config.engine {
+            BasisEngine::Dense => false,
+            BasisEngine::SparseLu => true,
+            BasisEngine::Auto => m > AUTO_DENSE_MAX_ROWS,
+        };
         Self {
             sf,
             config,
@@ -188,14 +541,20 @@ impl<'a> Simplex<'a> {
             art_sign: vec![1.0; m],
             basis: vec![0; m],
             position: vec![usize::MAX; total],
-            binv: vec![0.0; m * m],
+            repr: if use_sparse {
+                BasisRepr::Sparse(SparseBasis::new(m))
+            } else {
+                BasisRepr::Dense(DenseBasis::new(m))
+            },
             x: vec![0.0; total],
             at_upper: vec![false; total],
             iterations: 0,
+            refactorizations: 0,
             pivots_since_refactor: 0,
             degenerate_run: 0,
             y: vec![0.0; m],
             w: vec![0.0; m],
+            rho: vec![0.0; m],
         }
     }
 
@@ -214,18 +573,25 @@ impl<'a> Simplex<'a> {
             return self.solve_unconstrained();
         }
         self.init_basis();
-        // Phase 1: minimize the sum of artificials.
-        for j in 0..self.m {
-            self.costs[self.n0 + j] = 1.0;
-        }
-        let status = self.optimize();
-        if status == LpStatus::IterationLimit {
-            return self.finish(LpStatus::IterationLimit);
-        }
-        let infeas: f64 = (0..self.m).map(|i| self.x[self.n0 + i]).sum();
-        if infeas > self.config.feas_tol * (1.0 + self.sf.rhs.iter().map(|v| v.abs()).sum::<f64>())
-        {
-            return self.finish(LpStatus::Infeasible);
+        // Phase 1 runs only when the crash basis left some infeasibility
+        // (an artificial carrying a nonzero residual); a fully
+        // slack-feasible start jumps straight to phase 2.
+        let infeas0: f64 = (0..self.m).map(|i| self.x[self.n0 + i]).sum();
+        if infeas0 > 0.0 {
+            // Phase 1: minimize the sum of artificials.
+            for j in 0..self.m {
+                self.costs[self.n0 + j] = 1.0;
+            }
+            let status = self.optimize();
+            if status == LpStatus::IterationLimit {
+                return self.finish(LpStatus::IterationLimit);
+            }
+            let infeas: f64 = (0..self.m).map(|i| self.x[self.n0 + i]).sum();
+            if infeas
+                > self.config.feas_tol * (1.0 + self.sf.rhs.iter().map(|v| v.abs()).sum::<f64>())
+            {
+                return self.finish(LpStatus::Infeasible);
+            }
         }
         // Phase 2: true costs; artificials are pinned to zero.
         for j in 0..self.m {
@@ -276,13 +642,17 @@ impl<'a> Simplex<'a> {
             status,
             objective,
             values: self.x[..self.n0].to_vec(),
+            duals: self.y,
             iterations: self.iterations,
+            refactorizations: self.refactorizations,
             basis,
         }
     }
 
-    /// Places all real columns nonbasic at a finite bound and installs the
-    /// artificial basis.
+    /// Places all real columns nonbasic at a finite bound and installs
+    /// the crash basis: each row is covered by its slack whenever the
+    /// residual fits the slack's bounds (no phase-1 work for that row),
+    /// and by an artificial otherwise.
     fn init_basis(&mut self) {
         for j in 0..self.n0 {
             let (lo, up) = (self.lower[j], self.upper[j]);
@@ -297,25 +667,42 @@ impl<'a> Simplex<'a> {
             self.at_upper[j] = at_up;
             self.position[j] = usize::MAX;
         }
-        // Residual r = b - A x_N.
+        // Residual r = b - A x_N over all nonbasic real columns.
         let mut r = self.sf.rhs.clone();
         for j in 0..self.n0 {
             if self.x[j] != 0.0 {
                 self.sf.matrix.scatter_column(j, -self.x[j], &mut r);
             }
         }
-        self.binv.iter_mut().for_each(|v| *v = 0.0);
-        #[allow(clippy::needless_range_loop)] // Indexing three arrays in lockstep.
+        let n = self.n0 - self.m; // structural column count
+        let mut signs = vec![1.0; self.m];
+        #[allow(clippy::needless_range_loop)] // Indexing several arrays in lockstep.
         for i in 0..self.m {
-            let sign = if r[i] >= 0.0 { 1.0 } else { -1.0 };
-            self.art_sign[i] = sign;
+            let slack = n + i;
             let art = self.n0 + i;
-            self.basis[i] = art;
-            self.position[art] = i;
-            self.x[art] = r[i].abs();
-            // B = diag(sign) so B⁻¹ = diag(sign).
-            self.binv[i * self.m + i] = sign;
+            // Value the slack must take to close the row on its own
+            // (its own nonbasic contribution is already inside r).
+            let resid = r[i] + self.x[slack];
+            if resid >= self.lower[slack] && resid <= self.upper[slack] {
+                // Crash the slack basic: B's column is +e_i, the row is
+                // feasible, and phase 1 has nothing to do here.
+                self.basis[i] = slack;
+                self.position[slack] = i;
+                self.x[slack] = resid;
+                self.art_sign[i] = 1.0;
+                self.position[art] = usize::MAX;
+                self.x[art] = 0.0;
+            } else {
+                let sign = if r[i] >= 0.0 { 1.0 } else { -1.0 };
+                self.art_sign[i] = sign;
+                self.basis[i] = art;
+                self.position[art] = i;
+                self.x[art] = r[i].abs();
+                signs[i] = sign;
+            }
         }
+        // B = diag(signs), so B⁻¹ = diag(signs).
+        self.repr.reset_diagonal(&signs);
     }
 
     /// Runs pivots until optimal / unbounded / iteration limit.
@@ -324,7 +711,7 @@ impl<'a> Simplex<'a> {
             if self.iterations >= self.config.max_iterations {
                 return LpStatus::IterationLimit;
             }
-            // Deadline checks are cheap relative to an O(m²) pivot.
+            // Deadline checks are cheap relative to a pivot.
             if self.iterations.is_multiple_of(32) {
                 if let Some(deadline) = self.config.deadline {
                     if std::time::Instant::now() > deadline {
@@ -386,19 +773,12 @@ impl<'a> Simplex<'a> {
         self.lower[j] == f64::NEG_INFINITY && self.upper[j] == f64::INFINITY
     }
 
-    /// Computes `y = (c_Bᵀ B⁻¹)ᵀ`.
+    /// Computes `y = B⁻ᵀ c_B` into `self.y`.
     fn compute_duals(&mut self) {
-        let m = self.m;
-        self.y.iter_mut().for_each(|v| *v = 0.0);
-        for i in 0..m {
-            let cb = self.costs[self.basis[i]];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (k, yk) in self.y.iter_mut().enumerate() {
-                    *yk += cb * row[k];
-                }
-            }
+        for i in 0..self.m {
+            self.y[i] = self.costs[self.basis[i]];
         }
+        self.repr.btran(&mut self.y);
     }
 
     /// Selects an entering column; returns `(column, reduced cost)`.
@@ -444,20 +824,13 @@ impl<'a> Simplex<'a> {
 
     /// Computes `w = B⁻¹ A_q` into `self.w`.
     fn compute_direction(&mut self, q: usize) {
-        let m = self.m;
         self.w.iter_mut().for_each(|v| *v = 0.0);
-        let entries: Vec<(usize, f64)> = match self.column(q) {
-            ColumnIter::Matrix(it) => it.collect(),
-            ColumnIter::Artificial(e) => e.into_iter().collect(),
-        };
-        for (col, val) in entries {
-            if val == 0.0 {
-                continue;
-            }
-            for r in 0..m {
-                self.w[r] += self.binv[r * m + col] * val;
-            }
+        if q < self.n0 {
+            self.sf.matrix.scatter_column(q, 1.0, &mut self.w);
+        } else {
+            self.w[q - self.n0] = self.art_sign[q - self.n0];
         }
+        self.repr.ftran(&mut self.w);
     }
 
     /// Ratio test: how far can the entering variable move?
@@ -490,8 +863,7 @@ impl<'a> Simplex<'a> {
                         limit < t_best - 1e-12
                             || (limit <= t_best + 1e-12 && self.basis[i] < self.basis[lr])
                     } else {
-                        limit < t_best - 1e-12
-                            || (limit <= t_best + 1e-12 && w_i.abs() > lw)
+                        limit < t_best - 1e-12 || (limit <= t_best + 1e-12 && w_i.abs() > lw)
                     }
                 }
             };
@@ -548,95 +920,28 @@ impl<'a> Simplex<'a> {
         self.x[q] = from + sigma * t;
         self.basis[row] = q;
         self.position[q] = row;
-        // Product-form update of B⁻¹.
-        let pivot_val = self.w[row];
-        let (head, tail) = self.binv.split_at_mut(row * m);
-        let (pivot_row, rest) = tail.split_at_mut(m);
-        for v in pivot_row.iter_mut() {
-            *v /= pivot_val;
-        }
-        for (i, chunk) in head.chunks_mut(m).enumerate() {
-            let w_i = self.w[i];
-            if w_i != 0.0 {
-                for (c, v) in chunk.iter_mut().enumerate() {
-                    *v -= w_i * pivot_row[c];
-                }
-            }
-        }
-        for (k, chunk) in rest.chunks_mut(m).enumerate() {
-            let w_i = self.w[row + 1 + k];
-            if w_i != 0.0 {
-                for (c, v) in chunk.iter_mut().enumerate() {
-                    *v -= w_i * pivot_row[c];
-                }
-            }
-        }
+        self.repr.update(row, &self.w);
     }
 
-    /// Rebuilds `B⁻¹` by Gauss-Jordan elimination with partial pivoting
+    /// Rebuilds the basis representation from the current basis columns
     /// and recomputes basic values from the nonbasic assignment.
     ///
     /// Returns false when the basis is numerically singular (the old
-    /// inverse is kept so the caller can decide how to recover).
+    /// representation is kept so the caller can decide how to recover).
     fn refactor(&mut self) -> bool {
         self.pivots_since_refactor = 0;
-        let m = self.m;
-        // Dense B, row-major.
-        let mut b_mat = vec![0.0; m * m];
-        for (col, &bj) in self.basis.iter().enumerate() {
-            let entries: Vec<(usize, f64)> = match self.column(bj) {
+        let cols: Vec<Vec<(usize, f64)>> = self
+            .basis
+            .iter()
+            .map(|&bj| match self.column(bj) {
                 ColumnIter::Matrix(it) => it.collect(),
                 ColumnIter::Artificial(e) => e.into_iter().collect(),
-            };
-            for (r, v) in entries {
-                b_mat[r * m + col] = v;
-            }
+            })
+            .collect();
+        if !self.repr.refactor(&cols) {
+            return false;
         }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut best_row = col;
-            let mut best = b_mat[col * m + col].abs();
-            for r in col + 1..m {
-                let v = b_mat[r * m + col].abs();
-                if v > best {
-                    best = v;
-                    best_row = r;
-                }
-            }
-            if best <= 1e-12 {
-                // Numerically singular basis; keep the old inverse rather
-                // than corrupting state. The next pivots will repair it.
-                return false;
-            }
-            if best_row != col {
-                for k in 0..m {
-                    b_mat.swap(col * m + k, best_row * m + k);
-                    inv.swap(col * m + k, best_row * m + k);
-                }
-            }
-            let p = b_mat[col * m + col];
-            for k in 0..m {
-                b_mat[col * m + k] /= p;
-                inv[col * m + k] /= p;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = b_mat[r * m + col];
-                if f != 0.0 {
-                    for k in 0..m {
-                        b_mat[r * m + k] -= f * b_mat[col * m + k];
-                        inv[r * m + k] -= f * inv[col * m + k];
-                    }
-                }
-            }
-        }
-        self.binv = inv;
+        self.refactorizations += 1;
         // Recompute x_B = B⁻¹ (b − N x_N).
         let mut r = self.sf.rhs.clone();
         for j in 0..self.n0 + self.m {
@@ -647,21 +952,19 @@ impl<'a> Simplex<'a> {
             if xj == 0.0 {
                 continue;
             }
-            let entries: Vec<(usize, f64)> = match self.column(j) {
-                ColumnIter::Matrix(it) => it.collect(),
-                ColumnIter::Artificial(e) => e.into_iter().collect(),
-            };
-            for (row, v) in entries {
-                r[row] -= v * xj;
+            match self.column(j) {
+                ColumnIter::Matrix(it) => {
+                    for (row, v) in it {
+                        r[row] -= v * xj;
+                    }
+                }
+                ColumnIter::Artificial(Some((row, sign))) => r[row] -= sign * xj,
+                ColumnIter::Artificial(None) => {}
             }
         }
-        for i in 0..m {
-            let mut v = 0.0;
-            let row = &self.binv[i * m..(i + 1) * m];
-            for (k, rk) in r.iter().enumerate() {
-                v += row[k] * rk;
-            }
-            self.x[self.basis[i]] = v;
+        self.repr.ftran(&mut r);
+        for (i, &ri) in r.iter().enumerate() {
+            self.x[self.basis[i]] = ri;
         }
         true
     }
@@ -727,9 +1030,7 @@ impl<'a> Simplex<'a> {
             }
             self.iterations += 1;
             self.pivots_since_refactor += 1;
-            if self.pivots_since_refactor >= self.config.refactor_interval
-                && !self.refactor()
-            {
+            if self.pivots_since_refactor >= self.config.refactor_interval && !self.refactor() {
                 return None;
             }
         }
@@ -768,7 +1069,7 @@ impl<'a> Simplex<'a> {
         // bound, or down toward its upper bound.
         let need_increase = !to_upper;
         // rho = row `row` of B⁻¹.
-        let rho: Vec<f64> = self.binv[row * m..(row + 1) * m].to_vec();
+        self.repr.rho(row, &mut self.rho);
         self.compute_duals();
         let mut best: Option<(usize, f64, f64)> = None; // (col, |ratio|, |alpha|)
         for j in 0..self.n0 + m {
@@ -776,8 +1077,8 @@ impl<'a> Simplex<'a> {
                 continue;
             }
             let alpha = match self.column(j) {
-                ColumnIter::Matrix(it) => it.map(|(r, v)| v * rho[r]).sum::<f64>(),
-                ColumnIter::Artificial(Some((r, sign))) => sign * rho[r],
+                ColumnIter::Matrix(it) => it.map(|(r, v)| v * self.rho[r]).sum::<f64>(),
+                ColumnIter::Artificial(Some((r, sign))) => sign * self.rho[r],
                 ColumnIter::Artificial(None) => 0.0,
             };
             if alpha.abs() <= self.config.pivot_tol {
@@ -800,7 +1101,8 @@ impl<'a> Simplex<'a> {
             let d = self.costs[j] - self.column_dot_y(j);
             let ratio = (d / alpha).abs();
             match best {
-                Some((_, br, ba)) if ratio > br + 1e-12 || (ratio >= br - 1e-12 && alpha.abs() <= ba) => {}
+                Some((_, br, ba))
+                    if ratio > br + 1e-12 || (ratio >= br - 1e-12 && alpha.abs() <= ba) => {}
                 _ => best = Some((j, ratio, alpha.abs())),
             }
         }
@@ -825,28 +1127,7 @@ impl<'a> Simplex<'a> {
         self.x[q] += delta;
         self.basis[row] = q;
         self.position[q] = row;
-        // Product-form update of B⁻¹ (same as apply_step).
-        let (head, tail) = self.binv.split_at_mut(row * m);
-        let (pivot_row, rest) = tail.split_at_mut(m);
-        for v in pivot_row.iter_mut() {
-            *v /= w_r;
-        }
-        for (i, chunk) in head.chunks_mut(m).enumerate() {
-            let w_i = self.w[i];
-            if w_i != 0.0 {
-                for (c, v) in chunk.iter_mut().enumerate() {
-                    *v -= w_i * pivot_row[c];
-                }
-            }
-        }
-        for (k, chunk) in rest.chunks_mut(m).enumerate() {
-            let w_i = self.w[row + 1 + k];
-            if w_i != 0.0 {
-                for (c, v) in chunk.iter_mut().enumerate() {
-                    *v -= w_i * pivot_row[c];
-                }
-            }
-        }
+        self.repr.update(row, &self.w);
         true
     }
 }
@@ -874,7 +1155,21 @@ mod tests {
 
     fn lp(model: &Model) -> LpResult {
         let sf = StandardForm::from_model(model);
-        solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &SimplexConfig::default())
+        solve_lp(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &SimplexConfig::default(),
+        )
+    }
+
+    fn lp_with(model: &Model, engine: BasisEngine) -> LpResult {
+        let sf = StandardForm::from_model(model);
+        let cfg = SimplexConfig {
+            engine,
+            ..SimplexConfig::default()
+        };
+        solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg)
     }
 
     #[test]
@@ -889,7 +1184,11 @@ mod tests {
         m.set_objective(-3.0 * x - 5.0 * y);
         let r = lp(&m);
         assert_eq!(r.status, LpStatus::Optimal);
-        assert!((r.objective + 36.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective + 36.0).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
         assert!((r.values[0] - 2.0).abs() < 1e-6);
         assert!((r.values[1] - 6.0).abs() < 1e-6);
     }
@@ -952,7 +1251,11 @@ mod tests {
         let r = lp(&m);
         assert_eq!(r.status, LpStatus::Optimal);
         // Optimum: x = 4, y = 0 → 4 (cheaper than using y).
-        assert!((r.objective - 4.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective - 4.0).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
     }
 
     #[test]
@@ -979,12 +1282,7 @@ mod tests {
         let mut vars = Vec::new();
         for i in 0..2 {
             for j in 0..3 {
-                vars.push(m.add_var(
-                    format!("x{i}{j}"),
-                    VarType::Continuous,
-                    0.0,
-                    f64::INFINITY,
-                ));
+                vars.push(m.add_var(format!("x{i}{j}"), VarType::Continuous, 0.0, f64::INFINITY));
             }
         }
         for (i, supply) in [10.0, 20.0].iter().enumerate() {
@@ -1006,12 +1304,16 @@ mod tests {
         assert_eq!(r.status, LpStatus::Optimal);
         // Optimal plan: d0 ← s1 at cost 3 (15), d1 ← s1 at cost 1 (15),
         // d2 ← s0 at cost 5 (50): total 80.
-        assert!((r.objective - 80.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective - 80.0).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
     }
 
     #[test]
     fn refactor_keeps_solution_consistent() {
-        // Force many pivots with a tiny refactor interval.
+        // Force many pivots with a tiny refactor interval, on both engines.
         let mut m = Model::new();
         let n = 15;
         let vars: Vec<_> = (0..n)
@@ -1027,20 +1329,24 @@ mod tests {
         }
         m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, -1.0))));
         let sf = StandardForm::from_model(&m);
-        let tight = SimplexConfig {
-            refactor_interval: 3,
-            ..SimplexConfig::default()
-        };
-        let r1 = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &tight);
-        let r2 = solve_lp(
+        let reference = solve_lp(
             &sf,
             &sf.lower.clone(),
             &sf.upper.clone(),
             &SimplexConfig::default(),
         );
-        assert_eq!(r1.status, LpStatus::Optimal);
-        assert!((r1.objective - r2.objective).abs() < 1e-5);
-        assert!(m.violations(&r1.values[..n], 1e-5).is_empty());
+        for engine in [BasisEngine::Dense, BasisEngine::SparseLu] {
+            let tight = SimplexConfig {
+                refactor_interval: 3,
+                engine,
+                ..SimplexConfig::default()
+            };
+            let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &tight);
+            assert_eq!(r.status, LpStatus::Optimal);
+            assert!((r.objective - reference.objective).abs() < 1e-5);
+            assert!(m.violations(&r.values[..n], 1e-5).is_empty());
+            assert!(r.refactorizations > 0, "interval 3 must refactor");
+        }
     }
 
     #[test]
@@ -1055,5 +1361,228 @@ mod tests {
         let r = solve_lp(&sf, &sf.lower.clone(), &up, &SimplexConfig::default());
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[0] - 3.0).abs() < 1e-6);
+    }
+
+    /// The fixture LPs above, re-run on the sparse LU engine: status and
+    /// objective must match the dense engine exactly.
+    #[test]
+    fn sparse_engine_matches_dense_on_fixtures() {
+        let fixtures: Vec<(Model, LpStatus)> = {
+            let mut out = Vec::new();
+            // Textbook LP.
+            let mut m = Model::new();
+            let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+            let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+            m.add_constraint("c1", LinExpr::from(x), Sense::Le, 4.0);
+            m.add_constraint("c2", 2.0 * y, Sense::Le, 12.0);
+            m.add_constraint("c3", 3.0 * x + 2.0 * y, Sense::Le, 18.0);
+            m.set_objective(-3.0 * x - 5.0 * y);
+            out.push((m, LpStatus::Optimal));
+            // Infeasible.
+            let mut m = Model::new();
+            let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+            m.add_constraint("hi", LinExpr::from(x), Sense::Ge, 2.0);
+            out.push((m, LpStatus::Infeasible));
+            // Unbounded.
+            let mut m = Model::new();
+            let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+            m.set_objective(-1.0 * x);
+            m.add_constraint("noop", LinExpr::from(x), Sense::Ge, 0.0);
+            out.push((m, LpStatus::Unbounded));
+            // Equalities.
+            let mut m = Model::new();
+            let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+            let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+            m.add_constraint("sum", 1.0 * x + 1.0 * y, Sense::Eq, 10.0);
+            m.add_constraint("diff", 1.0 * x - 1.0 * y, Sense::Eq, 4.0);
+            m.set_objective(1.0 * x + 1.0 * y);
+            out.push((m, LpStatus::Optimal));
+            out
+        };
+        for (model, expected) in fixtures {
+            let dense = lp_with(&model, BasisEngine::Dense);
+            let sparse = lp_with(&model, BasisEngine::SparseLu);
+            assert_eq!(dense.status, expected);
+            assert_eq!(sparse.status, expected);
+            if expected == LpStatus::Optimal {
+                assert!(
+                    (dense.objective - sparse.objective).abs() < 1e-8,
+                    "dense {} vs sparse {}",
+                    dense.objective,
+                    sparse.objective
+                );
+            }
+        }
+    }
+
+    /// With an effectively infinite refactor interval the sparse engine
+    /// runs on eta updates alone; the answer must not drift.
+    #[test]
+    fn sparse_eta_only_path_is_exact() {
+        let mut m = Model::new();
+        let n = 12;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 5.0))
+            .collect();
+        for i in 0..n - 1 {
+            m.add_constraint(
+                format!("c{i}"),
+                2.0 * vars[i] + 1.0 * vars[i + 1],
+                Sense::Le,
+                6.0 + (i % 4) as f64,
+            );
+        }
+        m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, -1.0))));
+        let sf = StandardForm::from_model(&m);
+        let eta_only = SimplexConfig {
+            refactor_interval: usize::MAX,
+            engine: BasisEngine::SparseLu,
+            ..SimplexConfig::default()
+        };
+        let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &eta_only);
+        let reference = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - reference.objective).abs() < 1e-7);
+        assert_eq!(r.refactorizations, 0, "eta-only run must never refactor");
+    }
+
+    /// Warm-started re-solves on the sparse engine agree with cold ones.
+    #[test]
+    fn sparse_warm_start_matches_cold() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 8.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 8.0);
+        m.add_constraint("a", 1.0 * x + 2.0 * y, Sense::Le, 10.0);
+        m.add_constraint("b", 3.0 * x + 1.0 * y, Sense::Le, 15.0);
+        m.set_objective(-2.0 * x - 3.0 * y);
+        let sf = StandardForm::from_model(&m);
+        let cfg = SimplexConfig {
+            engine: BasisEngine::SparseLu,
+            ..SimplexConfig::default()
+        };
+        let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        assert_eq!(base.status, LpStatus::Optimal);
+        let mut up = sf.upper.clone();
+        up[0] = 2.0; // branch-style tightening
+        let cold = solve_lp(&sf, &sf.lower.clone(), &up, &cfg);
+        let warm = solve_lp_warm(&sf, &sf.lower.clone(), &up, &cfg, base.basis.as_ref());
+        assert_eq!(cold.status, warm.status);
+        assert!((cold.objective - warm.objective).abs() < 1e-7);
+    }
+
+    /// A singular warm basis must trigger the cold-start fallback, not a
+    /// wrong answer, on both engines.
+    #[test]
+    fn singular_warm_basis_falls_back_cold() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 3.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 3.0);
+        // Rows are multiples of each other, so basis {x, y} is singular.
+        m.add_constraint("a", 1.0 * x + 1.0 * y, Sense::Le, 4.0);
+        m.add_constraint("b", 2.0 * x + 2.0 * y, Sense::Le, 8.0);
+        m.set_objective(-1.0 * x - 1.0 * y);
+        let sf = StandardForm::from_model(&m);
+        let singular = Basis {
+            basis: vec![0, 1],
+            at_upper: vec![false, false],
+        };
+        for engine in [BasisEngine::Dense, BasisEngine::SparseLu] {
+            let cfg = SimplexConfig {
+                engine,
+                ..SimplexConfig::default()
+            };
+            let r = solve_lp_warm(
+                &sf,
+                &sf.lower.clone(),
+                &sf.upper.clone(),
+                &cfg,
+                Some(&singular),
+            );
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert!(
+                (r.objective + 4.0).abs() < 1e-6,
+                "{engine:?}: {}",
+                r.objective
+            );
+        }
+    }
+
+    /// The crash basis makes a bound-feasible LP skip phase 1 entirely:
+    /// at an already-optimal vertex, zero pivots are needed.
+    #[test]
+    fn slack_crash_skips_phase_one() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 5.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 5.0);
+        m.add_constraint("a", 1.0 * x + 1.0 * y, Sense::Le, 8.0);
+        m.add_constraint("b", 1.0 * x - 1.0 * y, Sense::Le, 3.0);
+        // Minimizing positive costs puts the optimum at the lower-bound
+        // corner the crash basis already sits on.
+        m.set_objective(2.0 * x + 1.0 * y);
+        let r = lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_eq!(r.iterations, 0, "crash basis should already be optimal");
+        assert!(r.objective.abs() < 1e-9);
+    }
+
+    /// Explicitly requesting the dense engine beyond its cap refuses with
+    /// `TooLarge` and a NaN objective — never a consumable bound.
+    #[test]
+    fn explicit_dense_over_cap_refuses_with_too_large() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        for i in 0..DENSE_MAX_ROWS + 1 {
+            m.add_constraint(format!("c{i}"), LinExpr::from(x), Sense::Le, 2.0);
+        }
+        m.set_objective(-1.0 * x);
+        let sf = StandardForm::from_model(&m);
+        let dense = SimplexConfig {
+            engine: BasisEngine::Dense,
+            ..SimplexConfig::default()
+        };
+        let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &dense);
+        assert_eq!(r.status, LpStatus::TooLarge);
+        assert!(r.objective.is_nan(), "refusals must not fabricate a bound");
+        assert!(r.basis.is_none());
+        // The same model with Auto routes to the sparse engine and solves.
+        let auto = SimplexConfig::default();
+        let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &auto);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 1.0).abs() < 1e-6);
+    }
+
+    /// Optimal duals must be dual feasible: reduced costs respect the
+    /// bound each variable rests on.
+    #[test]
+    fn duals_are_dual_feasible_at_optimum() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x), Sense::Le, 4.0);
+        m.add_constraint("c2", 2.0 * y, Sense::Le, 12.0);
+        m.add_constraint("c3", 3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        m.set_objective(-3.0 * x - 5.0 * y);
+        let sf = StandardForm::from_model(&m);
+        for engine in [BasisEngine::Dense, BasisEngine::SparseLu] {
+            let cfg = SimplexConfig {
+                engine,
+                ..SimplexConfig::default()
+            };
+            let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+            assert_eq!(r.status, LpStatus::Optimal);
+            assert_eq!(r.duals.len(), sf.num_rows);
+            for j in 0..sf.num_cols() {
+                let d = sf.costs[j] - sf.matrix.column_dot(j, &r.duals);
+                let at_lo = (r.values[j] - sf.lower[j]).abs() < 1e-7;
+                let at_up = (sf.upper[j] - r.values[j]).abs() < 1e-7;
+                if at_lo {
+                    assert!(d > -1e-6, "{engine:?} col {j}: d = {d}");
+                } else if at_up {
+                    assert!(d < 1e-6, "{engine:?} col {j}: d = {d}");
+                } else {
+                    assert!(d.abs() < 1e-6, "{engine:?} col {j}: d = {d}");
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,8 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Total simplex iterations across all LP solves.
     pub simplex_iterations: usize,
+    /// Total basis (re)factorizations across all LP solves.
+    pub lp_refactorizations: usize,
     /// Wall-clock seconds spent in the solve.
     pub solve_seconds: f64,
     /// Best proven lower bound on the objective.
@@ -138,6 +140,10 @@ pub enum SolveError {
     Unbounded,
     /// Limits hit before any feasible point was found.
     NoIncumbent,
+    /// The model exceeds the configured solver size cap (see
+    /// [`crate::simplex::LpStatus::TooLarge`]). This is a configuration
+    /// problem, not a statement about feasibility.
+    TooLarge,
 }
 
 impl std::fmt::Display for SolveError {
@@ -147,6 +153,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Unbounded => write!(f, "objective is unbounded"),
             SolveError::NoIncumbent => {
                 write!(f, "limits reached before a feasible solution was found")
+            }
+            SolveError::TooLarge => {
+                write!(f, "model exceeds the configured solver size cap")
             }
         }
     }

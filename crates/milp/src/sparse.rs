@@ -96,6 +96,85 @@ impl CscMatrix {
     }
 }
 
+/// Append-only CSC storage that grows one column at a time.
+///
+/// [`CscMatrix`] is built in one shot from complete columns; the sparse
+/// LU factorization instead discovers the columns of `L` and `U` during
+/// elimination and appends them as it goes, so it needs a builder that
+/// seals columns incrementally. Entries within the open column may be
+/// pushed in any order; no sorting or merging is performed.
+#[derive(Debug, Clone)]
+pub struct CscStore {
+    col_starts: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Default for CscStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CscStore {
+    /// An empty store with no columns.
+    pub fn new() -> Self {
+        Self {
+            col_starts: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// An empty store with reserved space for `cols` columns and `nnz`
+    /// entries.
+    pub fn with_capacity(cols: usize, nnz: usize) -> Self {
+        let mut col_starts = Vec::with_capacity(cols + 1);
+        col_starts.push(0);
+        Self {
+            col_starts,
+            row_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends one entry to the open (not yet finished) column.
+    pub fn push_entry(&mut self, row: usize, value: f64) {
+        self.row_idx.push(row as u32);
+        self.values.push(value);
+    }
+
+    /// Seals the open column; subsequent entries start the next one.
+    pub fn finish_column(&mut self) {
+        self.col_starts.push(self.row_idx.len());
+    }
+
+    /// Number of sealed columns.
+    pub fn num_cols(&self) -> usize {
+        self.col_starts.len() - 1
+    }
+
+    /// Number of stored entries across sealed and open columns.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of entries in one sealed column.
+    pub fn column_len(&self, col: usize) -> usize {
+        self.col_starts[col + 1] - self.col_starts[col]
+    }
+
+    /// Iterates the `(row, value)` entries of one sealed column.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.col_starts[col];
+        let end = self.col_starts[col + 1];
+        self.row_idx[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(r, v)| (*r as usize, *v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,10 +182,7 @@ mod tests {
     fn sample() -> CscMatrix {
         // [ 1 0 2 ]
         // [ 0 3 0 ]
-        CscMatrix::from_columns(
-            2,
-            &[vec![(0, 1.0)], vec![(1, 3.0)], vec![(0, 2.0)]],
-        )
+        CscMatrix::from_columns(2, &[vec![(0, 1.0)], vec![(1, 3.0)], vec![(0, 2.0)]])
     }
 
     #[test]
@@ -146,5 +222,24 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_row_panics() {
         CscMatrix::from_columns(1, &[vec![(1, 1.0)]]);
+    }
+
+    #[test]
+    fn store_grows_column_by_column() {
+        let mut s = CscStore::new();
+        s.push_entry(2, 1.5);
+        s.push_entry(0, -2.0);
+        s.finish_column();
+        s.finish_column(); // empty column
+        s.push_entry(1, 4.0);
+        s.finish_column();
+        assert_eq!(s.num_cols(), 3);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.column_len(0), 2);
+        assert_eq!(s.column_len(1), 0);
+        let c0: Vec<_> = s.column(0).collect();
+        assert_eq!(c0, vec![(2, 1.5), (0, -2.0)]);
+        let c2: Vec<_> = s.column(2).collect();
+        assert_eq!(c2, vec![(1, 4.0)]);
     }
 }

@@ -1,0 +1,72 @@
+//! Region-scale LP acceptance test: the sparse LU engine must solve an
+//! LP four times beyond the old dense 25,000-row cap without refusal,
+//! while the explicitly dense engine refuses the same model with
+//! `TooLarge` instead of fabricating a bound.
+
+use ras_milp::simplex::{solve_lp, BasisEngine, LpStatus, SimplexConfig, DENSE_MAX_ROWS};
+use ras_milp::standard::StandardForm;
+use ras_milp::{LinExpr, Model, Sense, VarType};
+
+/// 100,000 single-variable constraints: `x_i >= 1` for the first `K`
+/// variables, `x_i >= 0` for the rest, all `x_i ∈ [0, 2]`, minimize
+/// `Σ x_i`. The optimum is exactly `K`, reached after `K` phase-1-free
+/// pivots (the crash basis covers every row whose slack fits), and `K`
+/// exceeds the refactor interval so at least one mid-solve sparse LU
+/// refactorization is exercised.
+fn large_instance(n: usize, k: usize) -> StandardForm {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 2.0))
+        .collect();
+    for (i, v) in vars.iter().enumerate() {
+        let rhs = if i < k { 1.0 } else { 0.0 };
+        m.add_constraint(format!("c{i}"), LinExpr::from(*v), Sense::Ge, rhs);
+    }
+    m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, 1.0))));
+    StandardForm::from_model(&m)
+}
+
+#[test]
+fn sparse_engine_solves_4x_beyond_old_dense_cap() {
+    let n = 4 * DENSE_MAX_ROWS; // 100,000 rows
+    let k = 250; // > default refactor_interval of 200
+    let sf = large_instance(n, k);
+    assert_eq!(sf.num_rows, n);
+
+    // Auto routes a model this size to the sparse engine.
+    let cfg = SimplexConfig::default();
+    let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+    assert_eq!(r.status, LpStatus::Optimal, "sparse engine must not refuse");
+    assert!(
+        (r.objective - k as f64).abs() < 1e-6,
+        "objective {} != {k}",
+        r.objective
+    );
+    // The K forced variables sit at 1, everything else at 0.
+    for i in 0..k {
+        assert!((r.values[i] - 1.0).abs() < 1e-6, "x{i} = {}", r.values[i]);
+    }
+    for i in k..k + 10 {
+        assert!(r.values[i].abs() < 1e-6, "x{i} = {}", r.values[i]);
+    }
+    assert!(r.iterations >= k, "needs one pivot per forced variable");
+    assert!(
+        r.refactorizations >= 1,
+        "K > refactor_interval must trigger a mid-solve refactorization"
+    );
+    // Dual spot check: rows whose structural variable is basic at an
+    // interior value carry y_i = cost = 1.
+    assert_eq!(r.duals.len(), n);
+
+    // The explicitly dense engine refuses the same model.
+    let dense = SimplexConfig {
+        engine: BasisEngine::Dense,
+        ..SimplexConfig::default()
+    };
+    let refused = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &dense);
+    assert_eq!(refused.status, LpStatus::TooLarge);
+    assert!(
+        refused.objective.is_nan(),
+        "a refusal must not fabricate a bound"
+    );
+}

@@ -2,6 +2,10 @@
 //! randomly generated small integer programs, and every reported solution
 //! must satisfy the model it came from.
 
+// The vendored proptest macro expands one token at a time; the larger
+// test bodies below get close to the default recursion limit.
+#![recursion_limit = "512"]
+
 use proptest::prelude::*;
 use ras_milp::{LinExpr, Model, Sense, SolveError, VarType};
 
@@ -27,7 +31,7 @@ fn brute_force(model: &Model) -> Option<f64> {
         if depth == ranges.len() {
             if model.violations(point, 1e-6).is_empty() {
                 let obj = model.objective().eval(point);
-                if best.map_or(true, |b| obj < b) {
+                if best.is_none_or(|b| obj < b) {
                     *best = Some(obj);
                 }
             }
@@ -51,7 +55,11 @@ fn small_mip() -> impl Strategy<Value = Model> {
     (n_vars, n_cons).prop_flat_map(move |(nv, nc)| {
         let obj = prop::collection::vec(-5..=5i32, nv);
         let cons = prop::collection::vec(
-            (prop::collection::vec(coeff.clone(), nv), 0..=2u8, -6..=12i32),
+            (
+                prop::collection::vec(coeff.clone(), nv),
+                0..=2u8,
+                -6..=12i32,
+            ),
             nc,
         );
         let uppers = prop::collection::vec(1..=4i32, nv);
@@ -63,11 +71,7 @@ fn small_mip() -> impl Strategy<Value = Model> {
                 .map(|(i, u)| m.add_var(format!("x{i}"), VarType::Integer, 0.0, *u as f64))
                 .collect();
             for (ci, (coeffs, sense, rhs)) in cons.iter().enumerate() {
-                let expr = LinExpr::sum(
-                    vars.iter()
-                        .zip(coeffs)
-                        .map(|(v, c)| (*v, *c as f64)),
-                );
+                let expr = LinExpr::sum(vars.iter().zip(coeffs).map(|(v, c)| (*v, *c as f64)));
                 let sense = match sense {
                     0 => Sense::Le,
                     1 => Sense::Ge,
@@ -141,23 +145,100 @@ proptest! {
     }
 }
 
+/// Bound validity under limits: however early the search stops, the
+/// reported `best_bound` must never exceed the true optimum (the
+/// bound-corruption bugs this guards against were exactly limited nodes
+/// leaking optimistic bounds into `best_bound`), and the reported gap
+/// must be consistent with it. Returns an error message on violation.
+fn check_bound_validity(model: &Model, max_nodes: usize) -> Result<(), String> {
+    let expected = brute_force(model);
+    let config = ras_milp::SolveConfig {
+        max_nodes,
+        ..ras_milp::SolveConfig::default()
+    };
+    match model.solve_with(&config) {
+        Ok(solution) => {
+            // The bound can never exceed the incumbent...
+            if solution.stats.best_bound > solution.objective + 1e-6 {
+                return Err(format!(
+                    "bound {} overclaims incumbent {}",
+                    solution.stats.best_bound, solution.objective
+                ));
+            }
+            // ...nor the true optimum (bound validity).
+            if let Some(opt) = expected {
+                if solution.stats.best_bound > opt + 1e-6 {
+                    return Err(format!(
+                        "bound {} overclaims true optimum {}",
+                        solution.stats.best_bound, opt
+                    ));
+                }
+            }
+            let want_gap = (solution.objective - solution.stats.best_bound).max(0.0);
+            if (solution.stats.absolute_gap - want_gap).abs() > 1e-9 {
+                return Err(format!(
+                    "gap {} inconsistent with bound (want {want_gap})",
+                    solution.stats.absolute_gap
+                ));
+            }
+            // A solve that claims optimality must actually be optimal.
+            if solution.status == ras_milp::Status::Optimal {
+                let opt = expected.ok_or("optimal claim on infeasible model")?;
+                if (solution.objective - opt).abs() > 1e-6 {
+                    return Err(format!(
+                        "claimed optimal {} but true optimum is {opt}",
+                        solution.objective
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Err(SolveError::Infeasible) if expected.is_some() => {
+            Err(format!("solver says infeasible, optimum is {expected:?}"))
+        }
+        // Limits may stop anything before an incumbent exists.
+        Err(SolveError::Infeasible) | Err(SolveError::NoIncumbent) => Ok(()),
+        Err(e) => Err(format!("unexpected solver error: {e}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reported_bound_never_overclaims(model in small_mip(), max_nodes in 1usize..12) {
+        if let Err(msg) = check_bound_validity(&model, max_nodes) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+}
+
 /// Random LP relaxations: warm-started re-solves after a bound change
 /// must agree with cold solves (that is the entire warm-start contract).
 #[test]
 fn warm_solve_matches_cold_on_random_lps() {
-    use ras_milp::simplex::{solve_lp, solve_lp_warm, SimplexConfig};
-    use ras_milp::standard::StandardForm;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use ras_milp::simplex::{solve_lp, solve_lp_warm, SimplexConfig};
+    use ras_milp::standard::StandardForm;
 
     let mut rng = StdRng::seed_from_u64(0xC01D);
     let mut checked = 0;
     for case in 0..400 {
-        let nv = rng.gen_range(2..8);
+        // `nv` must be usize: `j` below inherits its type and indexes the
+        // bound vectors.
+        let nv: usize = rng.gen_range(2..8);
         let nc = rng.gen_range(1..8);
         let mut m = Model::new();
         let vars: Vec<_> = (0..nv)
-            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, rng.gen_range(1..9) as f64))
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarType::Continuous,
+                    0.0,
+                    rng.gen_range(1..9) as f64,
+                )
+            })
             .collect();
         for ci in 0..nc {
             let expr = LinExpr::sum(vars.iter().map(|v| (*v, rng.gen_range(-4..5) as f64)));

@@ -12,7 +12,14 @@ fn random_mip(rng: &mut StdRng) -> Model {
     let nc = rng.gen_range(1..6);
     let mut m = Model::new();
     let vars: Vec<_> = (0..nv)
-        .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, rng.gen_range(1..6) as f64))
+        .map(|i| {
+            m.add_var(
+                format!("x{i}"),
+                VarType::Integer,
+                0.0,
+                rng.gen_range(1..6) as f64,
+            )
+        })
         .collect();
     for ci in 0..nc {
         let expr = LinExpr::sum(vars.iter().map(|v| (*v, rng.gen_range(-4..5) as f64)));
@@ -71,7 +78,10 @@ fn heuristics_and_incumbents_never_change_the_optimum() {
             (a, b) => panic!("case {case}: divergent outcomes {a:?} vs {b:?}"),
         }
     }
-    assert!(optima_checked > 40, "too few feasible cases: {optima_checked}");
+    assert!(
+        optima_checked > 40,
+        "too few feasible cases: {optima_checked}"
+    );
 }
 
 #[test]

@@ -212,7 +212,7 @@ mod tests {
         let specs: Vec<ras_core::ReservationSpec> = Vec::new();
         let web = broker.register_reservation("web");
         let mgr = ElasticManager::new(elastic);
-        let mut log = MoveLog::new();
+        let log = MoveLog::new();
         let _ = specs;
         broker.set_elastic(ServerId(0), Some(elastic)).unwrap();
         assert_eq!(mgr.loaned(&broker).len(), 1);

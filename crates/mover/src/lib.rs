@@ -17,5 +17,5 @@ pub mod log;
 pub mod mover;
 
 pub use elastic::ElasticManager;
-pub use log::{MoveLog, MoveRecord, MoveReason};
+pub use log::{MoveLog, MoveReason, MoveRecord};
 pub use mover::{MoverConfig, OnlineMover};

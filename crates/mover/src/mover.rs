@@ -1,8 +1,6 @@
 //! Target execution and failure replacement.
 
-use ras_broker::{
-    EventNotice, ReservationId, ResourceBroker, SimTime, SubscriberId,
-};
+use ras_broker::{EventNotice, ReservationId, ResourceBroker, SimTime, SubscriberId};
 use ras_core::reservation::{ReservationKind, ReservationSpec};
 use ras_topology::{Region, ServerId};
 
@@ -129,7 +127,10 @@ impl OnlineMover {
                 self.find_buffer_replacement(region, specs, broker, spec, event.server)
             {
                 let done = at.plus_secs(self.config.replacement_latency_secs);
-                let from = broker.record(replacement).map(|r| r.current).unwrap_or(None);
+                let from = broker
+                    .record(replacement)
+                    .map(|r| r.current)
+                    .unwrap_or(None);
                 if broker.bind_current(replacement, Some(impacted)).is_ok() {
                     // The quick decision may be suboptimal; the next solve
                     // is free to improve it (targets unchanged here).
@@ -347,8 +348,7 @@ mod tests {
                     expected_end: None,
                 })
                 .unwrap();
-            let replacements =
-                mover.handle_failures(&region, &specs, &mut broker, SimTime::ZERO);
+            let replacements = mover.handle_failures(&region, &specs, &mut broker, SimTime::ZERO);
             assert!(
                 replacements.is_empty(),
                 "{kind:?} must be absorbed by embedded buffers"

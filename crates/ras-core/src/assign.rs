@@ -231,7 +231,10 @@ mod tests {
         if per_rack.len() > 1 {
             let max = per_rack.values().max().unwrap();
             let min = per_rack.values().min().unwrap();
-            assert!(max - min <= 1, "round-robin rack spread expected: {per_rack:?}");
+            assert!(
+                max - min <= 1,
+                "round-robin rack spread expected: {per_rack:?}"
+            );
         }
     }
 

@@ -113,7 +113,6 @@ mod tests {
     use super::*;
     use crate::reservation::ReservationSpec;
     use crate::rru::RruTable;
-    use ras_broker::SimTime;
     use ras_topology::{RegionBuilder, RegionTemplate};
 
     fn setup() -> (Region, ResourceBroker) {

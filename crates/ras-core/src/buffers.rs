@@ -59,10 +59,7 @@ pub struct BufferAccounting {
 
 impl BufferAccounting {
     /// Server-weighted average of the per-reservation max-MSB share.
-    pub fn weighted_max_msb_share(
-        &self,
-        weights: &[f64],
-    ) -> f64 {
+    pub fn weighted_max_msb_share(&self, weights: &[f64]) -> f64 {
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             return 0.0;
@@ -220,7 +217,7 @@ mod tests {
         )];
         // Assign 60 servers to web: 30 in MSB 0 (concentrated).
         let mut targets = vec![None; region.server_count()];
-        for (i, t) in targets.iter_mut().enumerate().take(60) {
+        for t in targets.iter_mut().take(60) {
             *t = Some(ReservationId(0));
         }
         let acct = account(&region, &specs, &targets);

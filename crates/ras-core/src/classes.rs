@@ -197,10 +197,7 @@ mod tests {
         broker.set_running_containers(rack.servers[0], 3).unwrap();
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Rack, None);
-        let own: Vec<&EquivClass> = classes
-            .iter()
-            .filter(|c| c.rack == Some(rack.id))
-            .collect();
+        let own: Vec<&EquivClass> = classes.iter().filter(|c| c.rack == Some(rack.id)).collect();
         assert_eq!(own.len(), 2, "busy and idle members must split");
         assert!(own.iter().any(|c| c.in_use && c.count() == 1));
     }

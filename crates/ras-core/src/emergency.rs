@@ -84,11 +84,8 @@ mod tests {
         let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
         let mut broker = ResourceBroker::new(region.server_count());
         let r0 = broker.register_reservation("urgent");
-        let spec = ReservationSpec::guaranteed(
-            "urgent",
-            10.0,
-            RruTable::uniform(&region.catalog, 1.0),
-        );
+        let spec =
+            ReservationSpec::guaranteed("urgent", 10.0, RruTable::uniform(&region.catalog, 1.0));
         let granted = EmergencyPath
             .grant(&region, &spec, r0, 10.0, &mut broker)
             .expect("grant");
@@ -103,11 +100,8 @@ mod tests {
         let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
         let mut broker = ResourceBroker::new(region.server_count());
         let r0 = broker.register_reservation("urgent");
-        let spec = ReservationSpec::guaranteed(
-            "urgent",
-            1e9,
-            RruTable::uniform(&region.catalog, 1.0),
-        );
+        let spec =
+            ReservationSpec::guaranteed("urgent", 1e9, RruTable::uniform(&region.catalog, 1.0));
         let err = EmergencyPath
             .grant(&region, &spec, r0, 1e9, &mut broker)
             .unwrap_err();
@@ -131,11 +125,8 @@ mod tests {
                 expected_end: None,
             })
             .unwrap();
-        let spec = ReservationSpec::guaranteed(
-            "urgent",
-            2.0,
-            RruTable::uniform(&region.catalog, 1.0),
-        );
+        let spec =
+            ReservationSpec::guaranteed("urgent", 2.0, RruTable::uniform(&region.catalog, 1.0));
         let granted = EmergencyPath
             .grant(&region, &spec, r0, 2.0, &mut broker)
             .expect("grant");

@@ -97,11 +97,19 @@ pub fn explain(
             fleet_share: fleet_per_type[t.id.index()] as f64 / fleet_total as f64,
         })
         .collect();
-    hardware.sort_by(|a, b| b.rrus.partial_cmp(&a.rrus).unwrap_or(std::cmp::Ordering::Equal));
+    hardware.sort_by(|a, b| {
+        b.rrus
+            .partial_cmp(&a.rrus)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let max_msb = per_msb.iter().cloned().fold(0.0, f64::max);
     let msbs_used = per_msb.iter().filter(|v| **v > 0.0).count();
-    let max_msb_share = if allocated > 0.0 { max_msb / allocated } else { 0.0 };
+    let max_msb_share = if allocated > 0.0 {
+        max_msb / allocated
+    } else {
+        0.0
+    };
     let dc_shares: Vec<(String, f64)> = region
         .datacenters()
         .iter()
@@ -258,10 +266,7 @@ mod tests {
         assert!(e.allocated >= 40.0);
         assert!(e.msbs_used >= 4);
         assert!(e.survives_any_msb >= 40.0 - 1e-9);
-        assert!(e
-            .findings
-            .iter()
-            .any(|f| f.contains("embedded buffer OK")));
+        assert!(e.findings.iter().any(|f| f.contains("embedded buffer OK")));
         assert!(!e.hardware.is_empty());
     }
 

@@ -31,10 +31,7 @@ pub fn greedy_counts(
     params: &SolverParams,
 ) -> Vec<Vec<usize>> {
     let n_msb = region.msbs().len();
-    let mut counts: Vec<Vec<usize>> = classes
-        .iter()
-        .map(|_| vec![0usize; specs.len()])
-        .collect();
+    let mut counts: Vec<Vec<usize>> = classes.iter().map(|_| vec![0usize; specs.len()]).collect();
     let mut remaining: Vec<usize> = classes.iter().map(|c| c.count()).collect();
 
     // Reservation order: scarcest hardware first (fewest eligible types
@@ -64,18 +61,13 @@ pub fn greedy_counts(
         let dc_cap: Vec<f64> = (0..n_dc)
             .map(|di| match &spec.dc_affinity {
                 Some(aff) => {
-                    (aff.share(ras_topology::DatacenterId::from_index(di))
-                        + aff.tolerance)
+                    (aff.share(ras_topology::DatacenterId::from_index(di)) + aff.tolerance)
                         * spec.capacity
                 }
                 None => f64::INFINITY,
             })
             .collect();
-        let msb_dc: Vec<usize> = region
-            .msbs()
-            .iter()
-            .map(|m| m.datacenter.index())
-            .collect();
+        let msb_dc: Vec<usize> = region.msbs().iter().map(|m| m.datacenter.index()).collect();
         // Per-MSB quota: the spread limit when one is set; the default
         // when an embedded buffer needs the max-MSB footprint kept low;
         // unlimited otherwise (e.g. single-DC ML reservations).
@@ -125,9 +117,7 @@ pub fn greedy_counts(
                         {
                             continue;
                         }
-                        if prefer_current
-                            && class.current.map(|r| r.index()) != Some(ri)
-                        {
+                        if prefer_current && class.current.map(|r| r.index()) != Some(ri) {
                             continue;
                         }
                         let v = spec.rru.value(class.hardware);
@@ -137,9 +127,7 @@ pub fn greedy_counts(
                         let take = remaining[ci].min(room.max(1));
                         // Never breach the hard DC cap (the MSB quota is
                         // soft and may be exceeded by one server).
-                        let take = if v * take as f64 + per_dc[msb_dc[mi]]
-                            > dc_cap[msb_dc[mi]]
-                        {
+                        let take = if v * take as f64 + per_dc[msb_dc[mi]] > dc_cap[msb_dc[mi]] {
                             (dc_room.floor().max(0.0)) as usize
                         } else {
                             take
@@ -257,7 +245,10 @@ mod tests {
             .filter(|(_, c)| c.current == Some(a))
             .map(|(ci, _)| counts[ci][0])
             .sum();
-        assert!(kept >= 25, "greedy should reuse current members, kept {kept}");
+        assert!(
+            kept >= 25,
+            "greedy should reuse current members, kept {kept}"
+        );
     }
 
     #[test]

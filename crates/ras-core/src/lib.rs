@@ -44,8 +44,6 @@ pub mod stats;
 
 pub use error::CoreError;
 pub use params::SolverParams;
-pub use reservation::{
-    DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy,
-};
+pub use reservation::{DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy};
 pub use rru::RruTable;
 pub use solver::{AsyncSolver, SolveOutput};

@@ -105,11 +105,7 @@ impl RasModel {
         for (ci, row) in self.vars.iter().enumerate() {
             for (ri, var) in row.iter().enumerate() {
                 if let Some(var) = var {
-                    let c = counts
-                        .get(ci)
-                        .and_then(|r| r.get(ri))
-                        .copied()
-                        .unwrap_or(0);
+                    let c = counts.get(ci).and_then(|r| r.get(ri)).copied().unwrap_or(0);
                     values[var.index()] = c as f64;
                 }
             }
@@ -117,9 +113,7 @@ impl RasModel {
         for (var, def) in &self.aux_defs {
             values[var.index()] = match def {
                 AuxInit::MaxZero(e) => e.eval(&values).max(0.0),
-                AuxInit::MaxOver(es) => {
-                    es.iter().map(|e| e.eval(&values)).fold(0.0, f64::max)
-                }
+                AuxInit::MaxOver(es) => es.iter().map(|e| e.eval(&values)).fold(0.0, f64::max),
                 AuxInit::Clamp(e, bound) => e.eval(&values).clamp(0.0, *bound),
                 AuxInit::ClampAbs(e, sub, bound) => {
                     (e.eval(&values).abs() - sub).clamp(0.0, *bound)
@@ -187,8 +181,7 @@ pub fn soften_baseline(
                 let want = aff.share(dc.id) * spec.capacity;
                 let have = by_dc[ri][dc.id.index()];
                 let allowed = aff.tolerance * spec.capacity;
-                affinity_violation[ri][dc.id.index()] =
-                    ((have - want).abs() - allowed).max(0.0);
+                affinity_violation[ri][dc.id.index()] = ((have - want).abs() - allowed).max(0.0);
             }
         }
     }
@@ -246,11 +239,7 @@ pub fn build_model(
 
     // Expression 5: each server in at most one reservation.
     for (ci, class) in classes.iter().enumerate() {
-        let terms: Vec<(Var, f64)> = vars[ci]
-            .iter()
-            .flatten()
-            .map(|v| (*v, 1.0))
-            .collect();
+        let terms: Vec<(Var, f64)> = vars[ci].iter().flatten().map(|v| (*v, 1.0)).collect();
         if !terms.is_empty() {
             model.add_constraint(
                 format!("supply[c{ci}]"),
@@ -290,9 +279,12 @@ pub fn build_model(
             continue;
         }
         let rru_of = |class: &EquivClass| spec.rru.value(class.hardware);
-        let total_expr = LinExpr::sum(classes.iter().enumerate().filter_map(|(ci, class)| {
-            vars[ci][ri].map(|v| (v, rru_of(class)))
-        }));
+        let total_expr = LinExpr::sum(
+            classes
+                .iter()
+                .enumerate()
+                .filter_map(|(ci, class)| vars[ci][ri].map(|v| (v, rru_of(class)))),
+        );
         if total_expr.terms.is_empty() {
             // No eligible hardware anywhere: leave the reservation empty;
             // the caller surfaces NoEligibleHardware.
@@ -412,10 +404,8 @@ pub fn build_model(
             if let Some(alpha_f) = spec.spread.msb_share {
                 for (mi, e) in &msb_exprs {
                     let def = e.clone() - alpha_f * spec.capacity;
-                    let over = model.max_of_zero(
-                        format!("msbspread[{}][m{mi}]", spec.name),
-                        def.clone(),
-                    );
+                    let over =
+                        model.max_of_zero(format!("msbspread[{}][m{mi}]", spec.name), def.clone());
                     aux.push((over, AuxInit::MaxZero(def)));
                     objective += LinExpr::term(over, params.spread_penalty);
                 }
@@ -436,10 +426,8 @@ pub fn build_model(
                 }
                 for (rk, e) in rack_groups {
                     let def = e - alpha_k * spec.capacity;
-                    let over = model.max_of_zero(
-                        format!("rackspread[{}][k{rk}]", spec.name),
-                        def.clone(),
-                    );
+                    let over =
+                        model.max_of_zero(format!("rackspread[{}][k{rk}]", spec.name), def.clone());
                     aux.push((over, AuxInit::MaxZero(def)));
                     objective += LinExpr::term(over, params.spread_penalty);
                 }
@@ -547,7 +535,14 @@ mod tests {
         let specs = vec![uniform_spec(&region, "web", 60.0)];
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Msb, None);
-        let ras = build_model(&region, &specs, &classes, &SolverParams::default(), false, None);
+        let ras = build_model(
+            &region,
+            &specs,
+            &classes,
+            &SolverParams::default(),
+            false,
+            None,
+        );
         let solution = ras.model.solve().expect("feasible");
         let counts = ras.decode(&solution);
         // Total assigned RRUs minus max-MSB RRUs must cover 60.
@@ -571,7 +566,14 @@ mod tests {
         let specs = vec![uniform_spec(&region, "web", 60.0)];
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Msb, None);
-        let ras = build_model(&region, &specs, &classes, &SolverParams::default(), false, None);
+        let ras = build_model(
+            &region,
+            &specs,
+            &classes,
+            &SolverParams::default(),
+            false,
+            None,
+        );
         let solution = ras.model.solve().expect("feasible");
         let counts = ras.decode(&solution);
         let mut by_msb = vec![0.0; region.msbs().len()];
@@ -599,7 +601,14 @@ mod tests {
         }
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Msb, None);
-        let ras = build_model(&region, &specs, &classes, &SolverParams::default(), false, None);
+        let ras = build_model(
+            &region,
+            &specs,
+            &classes,
+            &SolverParams::default(),
+            false,
+            None,
+        );
         let solution = ras.model.solve().expect("feasible");
         let counts = ras.decode(&solution);
         // Count how many currently-bound servers stay.
@@ -612,7 +621,10 @@ mod tests {
             }
         }
         assert_eq!(bound, 40);
-        assert!(kept >= 35, "stability should keep most servers, kept {kept}");
+        assert!(
+            kept >= 35,
+            "stability should keep most servers, kept {kept}"
+        );
     }
 
     #[test]
@@ -719,7 +731,14 @@ mod tests {
         ];
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Msb, None);
-        let ras = build_model(&region, &specs, &classes, &SolverParams::default(), false, None);
+        let ras = build_model(
+            &region,
+            &specs,
+            &classes,
+            &SolverParams::default(),
+            false,
+            None,
+        );
         assert_eq!(ras.assignment_var_count, classes.len() * 2);
     }
 
@@ -732,7 +751,14 @@ mod tests {
         ];
         let snap = broker.snapshot(SimTime::ZERO);
         let classes = build_classes(&region, &snap, Granularity::Msb, None);
-        let ras = build_model(&region, &specs, &classes, &SolverParams::default(), false, None);
+        let ras = build_model(
+            &region,
+            &specs,
+            &classes,
+            &SolverParams::default(),
+            false,
+            None,
+        );
         for row in &ras.vars {
             assert!(row[1].is_none(), "elastic reservations get no variables");
         }

@@ -159,6 +159,11 @@ pub fn run_phase(
         ..SolveConfig::default()
     };
     let mut solution = ras.model.solve_with(&config);
+    if matches!(solution, Err(SolveError::TooLarge)) {
+        // A size refusal is a configuration problem, not infeasibility:
+        // softening and retrying would refuse again. Surface it directly.
+        return Err(CoreError::Solver(SolveError::TooLarge.to_string()));
+    }
     if matches!(
         solution,
         Err(SolveError::Infeasible) | Err(SolveError::NoIncumbent)
@@ -171,8 +176,7 @@ pub fn run_phase(
         let baseline = soften_baseline(region, specs, &classes);
         ras = build_model(region, specs, &classes, params, rack_goals, Some(&baseline));
         ras_build_seconds += soften_start.elapsed().as_secs_f64();
-        config.initial_incumbent =
-            Some(best_incumbent(&ras, region, specs, &classes, params));
+        config.initial_incumbent = Some(best_incumbent(&ras, region, specs, &classes, params));
         solution = ras.model.solve_with(&config);
         if matches!(solution, Err(SolveError::Infeasible)) {
             // Cannot happen when the current assignment is well formed —
@@ -262,10 +266,7 @@ pub fn rack_overages(
         if !solver_visible(spec) || spec.capacity <= 0.0 {
             continue;
         }
-        let alpha_k = spec
-            .spread
-            .rack_share
-            .unwrap_or(params.default_rack_share);
+        let alpha_k = spec.spread.rack_share.unwrap_or(params.default_rack_share);
         let limit = alpha_k * spec.capacity;
         if rru > limit {
             overage[ri] += rru - limit;
@@ -278,10 +279,7 @@ pub fn rack_overages(
 
 /// Servers phase 2 may touch: those targeted at a selected reservation
 /// plus the free pool.
-fn phase2_universe(
-    targets1: &[Option<ReservationId>],
-    selected: &[usize],
-) -> HashSet<ServerId> {
+fn phase2_universe(targets1: &[Option<ReservationId>], selected: &[usize]) -> HashSet<ServerId> {
     let sel: HashSet<u32> = selected.iter().map(|ri| *ri as u32).collect();
     targets1
         .iter()
@@ -304,11 +302,7 @@ fn estimate_rack_classes(
     for s in universe {
         let server = region.server(*s);
         let record = &snapshot.records[s.index()];
-        keys.insert((
-            server.rack.0,
-            record.current,
-            record.running_containers > 0,
-        ));
+        keys.insert((server.rack.0, record.current, record.running_containers > 0));
     }
     keys.len()
 }
@@ -376,9 +370,8 @@ mod tests {
         let mut spec = uniform_spec(&region, "web", 30.0);
         spec.spread.rack_share = Some(0.05); // 1.5 RRUs per rack max.
         let snap = broker.snapshot(SimTime::ZERO);
-        let outcome =
-            solve_two_phase(&region, &[spec.clone()], &snap, &SolverParams::default())
-                .expect("solve");
+        let outcome = solve_two_phase(&region, &[spec.clone()], &snap, &SolverParams::default())
+            .expect("solve");
         // Rack overage of the final assignment should be no worse than the
         // phase-1-only assignment.
         let ranked = rack_overages(&region, &[spec], &outcome.targets, &SolverParams::default());
@@ -404,8 +397,7 @@ mod tests {
             uniform_spec(&region, "b", 20.0),
         ];
         let snap = broker.snapshot(SimTime::ZERO);
-        let targets: Vec<Option<ReservationId>> =
-            snap.records.iter().map(|r| r.current).collect();
+        let targets: Vec<Option<ReservationId>> = snap.records.iter().map(|r| r.current).collect();
         let ranked = rack_overages(&region, &specs, &targets, &SolverParams::default());
         assert_eq!(ranked[0].0, 0, "reservation a has the rack pileup");
         assert!(ranked[0].1 > ranked[1].1);

@@ -187,8 +187,7 @@ mod tests {
     #[test]
     fn guaranteed_defaults() {
         let catalog = HardwareCatalog::standard();
-        let spec =
-            ReservationSpec::guaranteed("web", 100.0, RruTable::uniform(&catalog, 1.0));
+        let spec = ReservationSpec::guaranteed("web", 100.0, RruTable::uniform(&catalog, 1.0));
         assert!(spec.msb_buffer);
         assert!(spec.survives_msb_loss());
         assert_eq!(spec.kind, ReservationKind::Guaranteed);

@@ -109,10 +109,7 @@ pub mod figure3 {
 
 /// Convenience: RRUs proportional to core count scaled by generation
 /// relative value — a reasonable default for compute-bound services.
-pub fn compute_bound(
-    catalog: &HardwareCatalog,
-    per_generation: [f64; 3],
-) -> RruTable {
+pub fn compute_bound(catalog: &HardwareCatalog, per_generation: [f64; 3]) -> RruTable {
     let mut t = RruTable::empty(catalog);
     for hw in catalog.iter() {
         let v = per_generation[hw.generation.ordinal()];

@@ -37,8 +37,7 @@ impl SolveOutput {
 
     /// Total assignment variables across phases.
     pub fn assignment_vars(&self) -> usize {
-        self.phase1.assignment_vars
-            + self.phase2.as_ref().map_or(0, |p| p.assignment_vars)
+        self.phase1.assignment_vars + self.phase2.as_ref().map_or(0, |p| p.assignment_vars)
     }
 }
 
@@ -57,11 +56,7 @@ impl AsyncSolver {
 
     /// Validates specs against the region (actionable rejections,
     /// Section 5.3).
-    pub fn validate(
-        &self,
-        region: &Region,
-        specs: &[ReservationSpec],
-    ) -> Result<(), CoreError> {
+    pub fn validate(&self, region: &Region, specs: &[ReservationSpec]) -> Result<(), CoreError> {
         for (ri, spec) in specs.iter().enumerate() {
             if !solver_visible(spec) || spec.capacity <= 0.0 {
                 continue;
@@ -159,11 +154,11 @@ mod tests {
         let snap = broker.snapshot(SimTime::ZERO);
         let output = solver.solve(&region, &specs, &snap).expect("solve");
         solver.apply(&output, &mut broker).expect("apply");
-        let assigned = broker
-            .iter()
-            .filter(|(_, r)| r.target == Some(r0))
-            .count();
-        assert!(assigned >= 40, "at least Cr servers targeted, got {assigned}");
+        let assigned = broker.iter().filter(|(_, r)| r.target == Some(r0)).count();
+        assert!(
+            assigned >= 40,
+            "at least Cr servers targeted, got {assigned}"
+        );
         // Pending moves are exactly the servers with a fresh target.
         assert_eq!(broker.pending_moves().len(), assigned);
     }

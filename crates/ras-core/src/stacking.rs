@@ -106,7 +106,9 @@ pub fn plan(
     let mut server_free: HashMap<ServerId, f64> = HashMap::new();
 
     for &(ti, want) in stackable {
-        let Some(tenant_spec) = specs.get(ti) else { continue };
+        let Some(tenant_spec) = specs.get(ti) else {
+            continue;
+        };
         let mut need = want;
         for server in region.servers() {
             if need <= 1e-9 {
@@ -116,7 +118,9 @@ pub fn plan(
                 continue;
             };
             let hi = host.index();
-            let Some(host_spec) = specs.get(hi) else { continue };
+            let Some(host_spec) = specs.get(hi) else {
+                continue;
+            };
             if hi == ti
                 || host_spec.kind != crate::reservation::ReservationKind::Guaranteed
                 || host_spec.host_profile != tenant_spec.host_profile

@@ -152,7 +152,9 @@ impl FailureInjector {
                 if broker.record(victim).map(|r| r.is_up()).unwrap_or(false) {
                     let end = match dur {
                         Some(minutes) => now.plus_secs((self.uniform(minutes) * 60.0) as u64),
-                        None => now.plus_secs((self.uniform(self.rates.repair_days) * 86_400.0) as u64),
+                        None => {
+                            now.plus_secs((self.uniform(self.rates.repair_days) * 86_400.0) as u64)
+                        }
                     };
                     let _ = hcs.report_down(
                         broker,
@@ -189,8 +191,8 @@ impl FailureInjector {
         }
 
         // Power-row correlated failure.
-        let row_rate =
-            self.rates.power_row_per_row_per_year * dt_days / 365.0 * region.power_rows().len() as f64;
+        let row_rate = self.rates.power_row_per_row_per_year * dt_days / 365.0
+            * region.power_rows().len() as f64;
         if self.happens(row_rate) {
             let row = PowerRowId::from_index(self.rng.gen_range(0..region.power_rows().len()));
             let end = now.plus_secs((self.uniform(self.rates.power_row_hours) * 3600.0) as u64);
@@ -204,7 +206,8 @@ impl FailureInjector {
                     Some(end),
                 )
                 .unwrap_or(0);
-            self.pending.push(Pending::Scope(ScopeId::PowerRow(row), end));
+            self.pending
+                .push(Pending::Scope(ScopeId::PowerRow(row), end));
             self.injected
                 .push((now, UnavailabilityKind::CorrelatedFailure, n));
         }
@@ -214,11 +217,9 @@ impl FailureInjector {
             self.rates.maintenance_per_msb_per_week * dt_days / 7.0 * region.msbs().len() as f64;
         if self.happens(maint_rate) {
             let msb = MsbId::from_index(self.rng.gen_range(0..region.msbs().len()));
-            let members: Vec<ServerId> =
-                region.servers_in_msb(msb).map(|s| s.id).collect();
+            let members: Vec<ServerId> = region.servers_in_msb(msb).map(|s| s.id).collect();
             let take = (members.len() as f64 * self.rates.maintenance_fraction) as usize;
-            let end =
-                now.plus_secs((self.uniform(self.rates.maintenance_hours) * 3600.0) as u64);
+            let end = now.plus_secs((self.uniform(self.rates.maintenance_hours) * 3600.0) as u64);
             let mut n = 0;
             for s in members.into_iter().take(take) {
                 if broker.record(s).map(|r| r.is_up()).unwrap_or(false) {
@@ -356,7 +357,10 @@ mod tests {
             .map(|(_, _, n)| *n)
             .sum();
         let per_msb = region.server_count() / region.msbs().len();
-        assert!(correlated >= per_msb, "whole MSB must fail, got {correlated}");
+        assert!(
+            correlated >= per_msb,
+            "whole MSB must fail, got {correlated}"
+        );
     }
 
     #[test]
@@ -403,8 +407,8 @@ mod tests {
             inj.step(&region, &mut broker, &mut hcs, t, 6 * 3600);
             t = t.plus_hours(6);
         }
-        let frac = broker.iter().filter(|(_, r)| !r.is_up()).count() as f64
-            / broker.server_count() as f64;
+        let frac =
+            broker.iter().filter(|(_, r)| !r.is_up()).count() as f64 / broker.server_count() as f64;
         assert!(
             (0.0002..0.004).contains(&frac),
             "steady-state hardware repair fraction {frac} out of band"

@@ -123,10 +123,7 @@ impl Simulation {
     /// every tick loans idle capacity to it; active correlated failures
     /// revoke loans in the paper's 75 %-now / 25 %-in-30-min waves.
     pub fn enable_auto_elastic(&mut self, name: &str) -> ReservationId {
-        let spec = ReservationSpec::elastic(
-            name,
-            crate::scenario::uniform_rru(&self.region),
-        );
+        let spec = ReservationSpec::elastic(name, crate::scenario::uniform_rru(&self.region));
         let id = self.add_spec(spec);
         self.elastic = Some(ElasticManager::new(id));
         self.config.auto_elastic = true;
@@ -198,18 +195,16 @@ impl Simulation {
         }
         match self.config.mode {
             AllocatorMode::Ras => {
-                self.mover.handle_failures(
-                    &self.region,
-                    &self.specs,
-                    &mut self.broker,
-                    self.time,
-                );
+                self.mover
+                    .handle_failures(&self.region, &self.specs, &mut self.broker, self.time);
                 let _ = self.broker.drain_events(self.greedy_events);
             }
             AllocatorMode::Greedy => {
                 let notices = self.broker.drain_events(self.greedy_events);
                 for notice in notices {
-                    let EventNotice::Down(event) = notice else { continue };
+                    let EventNotice::Down(event) = notice else {
+                        continue;
+                    };
                     if !event.kind.is_unplanned() {
                         continue;
                     }
@@ -246,9 +241,7 @@ impl Simulation {
                 }
                 let correlated_active = self.broker.iter().any(|(_, r)| {
                     r.unavailability
-                        .map(|e| {
-                            e.kind == ras_broker::UnavailabilityKind::CorrelatedFailure
-                        })
+                        .map(|e| e.kind == ras_broker::UnavailabilityKind::CorrelatedFailure)
                         .unwrap_or(false)
                 });
                 if correlated_active {
@@ -259,7 +252,13 @@ impl Simulation {
                         self.pending_revokes.extend(delayed);
                     }
                 } else {
-                    mgr.loan_idle(&self.specs, &mut self.broker, 16, self.time, &mut self.mover.log);
+                    mgr.loan_idle(
+                        &self.specs,
+                        &mut self.broker,
+                        16,
+                        self.time,
+                        &mut self.mover.log,
+                    );
                 }
             }
         }
@@ -313,10 +312,7 @@ impl Simulation {
             self.broker.iter().map(|(_, r)| r.current).collect();
         let acct = buffers::account(&self.region, &self.specs, &targets);
         let weights: Vec<f64> = (0..self.specs.len())
-            .map(|ri| {
-                self.broker
-                    .member_count(ReservationId::from_index(ri)) as f64
-            })
+            .map(|ri| self.broker.member_count(ReservationId::from_index(ri)) as f64)
             .collect();
         let budget = power::default_budget(&self.region);
         let p = power::measure(&self.region, &self.broker, budget);
@@ -473,7 +469,12 @@ mod tests {
         let now = sim.now();
         let loans_before = sim.elastic_loans();
         {
-            let Simulation { region, broker, hcs, .. } = &mut sim;
+            let Simulation {
+                region,
+                broker,
+                hcs,
+                ..
+            } = &mut sim;
             hcs.report_scope_down(
                 broker,
                 region,

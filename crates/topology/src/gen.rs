@@ -270,8 +270,7 @@ mod tests {
         for server in region.servers() {
             let hw = region.catalog.get(server.hardware);
             if hw.generation == ProcessorGeneration::Gen1 {
-                let age =
-                    region.msb(server.msb).turnup_order as f64 / (total_msbs - 1) as f64;
+                let age = region.msb(server.msb).turnup_order as f64 / (total_msbs - 1) as f64;
                 assert!(age <= 0.6, "discontinued hardware in new MSB (age {age})");
             }
         }

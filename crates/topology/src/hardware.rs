@@ -324,8 +324,7 @@ mod tests {
         let catalog = HardwareCatalog::standard();
         // Nine categories and twelve subtypes total (Section 2.2).
         assert_eq!(catalog.len(), 12);
-        let categories: std::collections::HashSet<_> =
-            catalog.iter().map(|t| t.category).collect();
+        let categories: std::collections::HashSet<_> = catalog.iter().map(|t| t.category).collect();
         assert_eq!(categories.len(), 9);
     }
 

@@ -241,7 +241,9 @@ impl Region {
         &self,
         datacenter: DatacenterId,
     ) -> impl Iterator<Item = &Server> + '_ {
-        self.servers.iter().filter(move |s| s.datacenter == datacenter)
+        self.servers
+            .iter()
+            .filter(move |s| s.datacenter == datacenter)
     }
 
     /// Partitions all servers by the given scope, returning

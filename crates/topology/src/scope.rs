@@ -42,7 +42,10 @@ impl Scope {
     }
 
     fn ordinal(self) -> usize {
-        Scope::ALL.iter().position(|s| *s == self).expect("scope in ALL")
+        Scope::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("scope in ALL")
     }
 }
 

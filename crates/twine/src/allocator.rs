@@ -190,14 +190,7 @@ impl TwineAllocator {
             .insert(server, (cores - spec.cores, mem - spec.memory_gib));
         let id = ContainerId(self.next_container);
         self.next_container += 1;
-        self.containers.insert(
-            id,
-            Placement {
-                job,
-                server,
-                spec,
-            },
-        );
+        self.containers.insert(id, Placement { job, server, spec });
         let count = self.containers_on(server) as u32;
         broker.set_running_containers(server, count).ok()?;
         Some(id)
@@ -217,7 +210,10 @@ impl TwineAllocator {
 
     /// Containers currently on one server.
     pub fn containers_on(&self, server: ServerId) -> usize {
-        self.containers.values().filter(|p| p.server == server).count()
+        self.containers
+            .values()
+            .filter(|p| p.server == server)
+            .count()
     }
 
     /// Total running containers.
@@ -297,7 +293,9 @@ mod tests {
     fn placement_stays_inside_the_reservation() {
         let (region, mut broker, r) = setup();
         let mut alloc = TwineAllocator::new();
-        let placed = alloc.submit(&region, &mut broker, job(r, 10, false)).unwrap();
+        let placed = alloc
+            .submit(&region, &mut broker, job(r, 10, false))
+            .unwrap();
         assert_eq!(placed.len(), 10);
         for (s, rec) in broker.iter() {
             if rec.running_containers > 0 {
@@ -310,9 +308,14 @@ mod tests {
     fn stacking_coexists_on_one_server() {
         let (region, mut broker, r) = setup();
         let mut alloc = TwineAllocator::new();
-        alloc.submit(&region, &mut broker, job(r, 4, false)).unwrap();
+        alloc
+            .submit(&region, &mut broker, job(r, 4, false))
+            .unwrap();
         // Best-fit stacking should reuse servers rather than spray.
-        let busy = broker.iter().filter(|(_, rec)| rec.running_containers > 0).count();
+        let busy = broker
+            .iter()
+            .filter(|(_, rec)| rec.running_containers > 0)
+            .count();
         assert!(busy <= 2, "best-fit should stack, used {busy} servers");
     }
 
@@ -348,7 +351,9 @@ mod tests {
     fn candidates_scale_with_reservation_not_region() {
         let (region, mut broker, r) = setup();
         let mut alloc = TwineAllocator::new();
-        alloc.submit(&region, &mut broker, job(r, 1, false)).unwrap();
+        alloc
+            .submit(&region, &mut broker, job(r, 1, false))
+            .unwrap();
         assert!(
             alloc.last_candidates_evaluated <= 30,
             "only reservation members may be scanned, got {}",
@@ -360,7 +365,9 @@ mod tests {
     fn stop_frees_capacity() {
         let (region, mut broker, r) = setup();
         let mut alloc = TwineAllocator::new();
-        let placed = alloc.submit(&region, &mut broker, job(r, 2, false)).unwrap();
+        let placed = alloc
+            .submit(&region, &mut broker, job(r, 2, false))
+            .unwrap();
         let busy_before = alloc.container_count();
         alloc.stop(&mut broker, placed[0]);
         assert_eq!(alloc.container_count(), busy_before - 1);

@@ -5,9 +5,7 @@
 //! subscriptions. In this reproduction the "monitoring" input comes from
 //! the failure injectors in `ras-sim`.
 
-use ras_broker::{
-    BrokerError, ResourceBroker, SimTime, UnavailabilityEvent, UnavailabilityKind,
-};
+use ras_broker::{BrokerError, ResourceBroker, SimTime, UnavailabilityEvent, UnavailabilityKind};
 use ras_topology::{Region, ScopeId, ServerId};
 
 /// Health Check Service: the single writer of unavailability state.
@@ -134,7 +132,12 @@ mod tests {
             assert_eq!(rec.unavailability.unwrap().scope, ScopeId::Msb(msb));
         }
         let up = hcs
-            .report_scope_up(&mut broker, &region, ScopeId::Msb(msb), SimTime::from_hours(3))
+            .report_scope_up(
+                &mut broker,
+                &region,
+                ScopeId::Msb(msb),
+                SimTime::from_hours(3),
+            )
             .unwrap();
         assert_eq!(up, n);
         assert_eq!(hcs.down_count(), 0);
@@ -156,7 +159,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(hcs.down_count(), 1);
-        hcs.report_up(&mut broker, s, SimTime::from_hours(1)).unwrap();
+        hcs.report_up(&mut broker, s, SimTime::from_hours(1))
+            .unwrap();
         assert!(broker.record(s).unwrap().is_up());
     }
 }

@@ -92,12 +92,7 @@ impl TwineScheduler {
 
     /// Submits a job; placement is attempted immediately and retried on
     /// every [`TwineScheduler::process`] until all replicas run.
-    pub fn submit(
-        &mut self,
-        region: &Region,
-        broker: &mut ResourceBroker,
-        spec: JobSpec,
-    ) -> JobId {
+    pub fn submit(&mut self, region: &Region, broker: &mut ResourceBroker, spec: JobSpec) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
         self.jobs.insert(
@@ -121,7 +116,10 @@ impl TwineScheduler {
         job: JobId,
         replicas: u32,
     ) -> Result<(), PlacementError> {
-        let entry = self.jobs.get_mut(&job).ok_or(PlacementError::UnknownJob(job))?;
+        let entry = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(PlacementError::UnknownJob(job))?;
         entry.spec.replicas = replicas;
         while entry.containers.len() as u32 > replicas {
             let c = entry.containers.pop().expect("len checked");
@@ -159,11 +157,16 @@ impl TwineScheduler {
     }
 
     fn try_place(&mut self, region: &Region, broker: &mut ResourceBroker, job: JobId) {
-        let Some(entry) = self.jobs.get_mut(&job) else { return };
+        let Some(entry) = self.jobs.get_mut(&job) else {
+            return;
+        };
         if entry.state == JobState::Stopped {
             return;
         }
-        let missing = entry.spec.replicas.saturating_sub(entry.containers.len() as u32);
+        let missing = entry
+            .spec
+            .replicas
+            .saturating_sub(entry.containers.len() as u32);
         if missing == 0 {
             entry.state = JobState::Running;
             return;

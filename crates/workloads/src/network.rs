@@ -70,11 +70,8 @@ mod tests {
     #[test]
     fn fraction_tracks_placement() {
         let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
-        let spec = ReservationSpec::guaranteed(
-            "presto",
-            10.0,
-            RruTable::uniform(&region.catalog, 1.0),
-        );
+        let spec =
+            ReservationSpec::guaranteed("presto", 10.0, RruTable::uniform(&region.catalog, 1.0));
         let service = StorageAffineService {
             reservation: ReservationId(0),
             data_dc: region.datacenters()[0].id,
@@ -102,11 +99,8 @@ mod tests {
     #[test]
     fn empty_assignment_is_zero_traffic() {
         let region = RegionBuilder::new(RegionTemplate::tiny(), 42).build();
-        let spec = ReservationSpec::guaranteed(
-            "presto",
-            10.0,
-            RruTable::uniform(&region.catalog, 1.0),
-        );
+        let spec =
+            ReservationSpec::guaranteed("presto", 10.0, RruTable::uniform(&region.catalog, 1.0));
         let service = StorageAffineService {
             reservation: ReservationId(0),
             data_dc: region.datacenters()[0].id,

@@ -69,7 +69,11 @@ pub fn measure_with(
     let n = per_msb.len() as f64;
     let mean = per_msb.iter().sum::<f64>() / n;
     let variance = per_msb.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
-    let normalized_variance = if mean > 0.0 { variance / (mean * mean) } else { 0.0 };
+    let normalized_variance = if mean > 0.0 {
+        variance / (mean * mean)
+    } else {
+        0.0
+    };
     let max = per_msb.iter().cloned().fold(0.0, f64::max);
     let peak_headroom = if budget_watts > 0.0 {
         (1.0 - max / budget_watts).max(0.0)
@@ -84,7 +88,11 @@ pub fn measure_with(
         .collect();
     let umean = utilization.iter().sum::<f64>() / n;
     let uvar = utilization.iter().map(|u| (u - umean).powi(2)).sum::<f64>() / n;
-    let utilization_variance = if umean > 0.0 { uvar / (umean * umean) } else { 0.0 };
+    let utilization_variance = if umean > 0.0 {
+        uvar / (umean * umean)
+    } else {
+        0.0
+    };
     let umax = utilization.iter().cloned().fold(0.0, f64::max);
     PowerReport {
         per_msb_watts: per_msb,
@@ -182,7 +190,8 @@ mod tests {
         let idle = ResourceBroker::new(region.server_count());
         let mut busy = ResourceBroker::new(region.server_count());
         for i in 0..region.server_count() {
-            busy.set_running_containers(ServerId::from_index(i), 1).unwrap();
+            busy.set_running_containers(ServerId::from_index(i), 1)
+                .unwrap();
         }
         let idle_report = measure(&region, &idle, budget);
         let busy_report = measure(&region, &busy, budget);

@@ -105,7 +105,11 @@ impl RequestGenerator {
             // Very large Web/Feed-scale requests.
             4.0 + self.rng.gen::<f64>() * 0.48
         };
-        10f64.powf(log10).min(self.config.max_units).max(1.0).round()
+        10f64
+            .powf(log10)
+            .min(self.config.max_units)
+            .max(1.0)
+            .round()
     }
 
     /// Bimodal fungibility: newest-generation-only (mode at 1), flexible
@@ -128,9 +132,7 @@ impl RequestGenerator {
             // every non-accelerator type of gen II + III (≈8 types).
             catalog
                 .iter()
-                .filter(|t| {
-                    !t.has_accelerator() && t.generation != ProcessorGeneration::Gen1
-                })
+                .filter(|t| !t.has_accelerator() && t.generation != ProcessorGeneration::Gen1)
                 .map(|t| t.id)
                 .collect()
         } else {

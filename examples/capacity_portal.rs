@@ -27,7 +27,7 @@ fn main() {
     while used < budget && specs.len() < 12 {
         let req = gen.sample(&region.catalog, SimTime::ZERO);
         let mut spec = req.to_spec(&region.catalog, format!("request-{i}"));
-        spec.capacity = spec.capacity.min(budget - used).min(600.0).max(8.0);
+        spec.capacity = spec.capacity.min(budget - used).clamp(8.0, 600.0);
         used += spec.capacity;
         i += 1;
         println!(

@@ -69,10 +69,24 @@ fn main() {
     // Loan idle capacity to the elastic pool.
     let mgr = ElasticManager::new(elastic);
     let loaned = {
-        let Simulation { broker, mover, specs, .. } = &mut sim;
-        mgr.loan_idle(specs, broker, 30, ras::broker::SimTime::from_hours(24), &mut mover.log)
+        let Simulation {
+            broker,
+            mover,
+            specs,
+            ..
+        } = &mut sim;
+        mgr.loan_idle(
+            specs,
+            broker,
+            30,
+            ras::broker::SimTime::from_hours(24),
+            &mut mover.log,
+        )
     };
-    println!("elastic: {} idle servers loaned to ml-offline", loaned.len());
+    println!(
+        "elastic: {} idle servers loaned to ml-offline",
+        loaned.len()
+    );
 
     sim.run_hours(24);
     let sample = sim.metrics.latest().unwrap();
@@ -98,7 +112,12 @@ fn main() {
     // Buffers are needed: revoke elastic loans (75 % now, 25 % delayed).
     let (immediate, delayed) = {
         let Simulation { broker, mover, .. } = &mut sim;
-        mgr.revoke(broker, 30, ras::broker::SimTime::from_hours(48), &mut mover.log)
+        mgr.revoke(
+            broker,
+            30,
+            ras::broker::SimTime::from_hours(48),
+            &mut mover.log,
+        )
     };
     println!(
         "elastic revoke: {} immediate, {} within 30 min",

@@ -47,7 +47,11 @@ fn main() {
         let mut broker = ResourceBroker::new(region.server_count());
         broker.register_reservation(&spec.name);
         let out = solver
-            .solve(&region, std::slice::from_ref(&spec), &broker.snapshot(SimTime::ZERO))
+            .solve(
+                &region,
+                std::slice::from_ref(&spec),
+                &broker.snapshot(SimTime::ZERO),
+            )
             .expect("solve");
         let service = StorageAffineService {
             reservation: ras::broker::ReservationId(0),

@@ -105,11 +105,8 @@ fn emergency_grant_then_corrective_solve() {
         RruTable::uniform(&region.catalog, 1.0),
     )];
     broker.register_reservation("web");
-    let urgent_spec = ReservationSpec::guaranteed(
-        "urgent",
-        20.0,
-        RruTable::uniform(&region.catalog, 1.0),
-    );
+    let urgent_spec =
+        ReservationSpec::guaranteed("urgent", 20.0, RruTable::uniform(&region.catalog, 1.0));
     let urgent = broker.register_reservation("urgent");
     specs.push(urgent_spec.clone());
 
@@ -227,7 +224,11 @@ fn hourly_resolve_converges_to_quiescence() {
     let early: usize = trail[..3].iter().sum();
     let late: usize = trail[trail.len() - 3..].iter().sum();
     assert!(late < early.max(1), "churn must decline, got {trail:?}");
-    assert_eq!(*trail.last().unwrap(), 0, "churn must die out, got {trail:?}");
+    assert_eq!(
+        *trail.last().unwrap(),
+        0,
+        "churn must die out, got {trail:?}"
+    );
 }
 
 #[test]

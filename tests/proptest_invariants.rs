@@ -15,10 +15,7 @@ use ras::topology::{RegionBuilder, RegionTemplate};
 
 fn arb_world() -> impl Strategy<Value = (u64, Vec<f64>)> {
     // Seed plus 1-4 reservation sizes, each 10..60 RRUs.
-    (
-        0u64..1000,
-        prop::collection::vec(10.0f64..60.0, 1..4),
-    )
+    (0u64..1000, prop::collection::vec(10.0f64..60.0, 1..4))
 }
 
 proptest! {

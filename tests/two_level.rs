@@ -96,10 +96,7 @@ fn capacity_requests_do_not_block_container_requests() {
     );
     assert_eq!(sched.state(id), Some(JobState::Running));
     // The solver still sees its consistent snapshot from before.
-    assert!(snapshot
-        .records
-        .iter()
-        .all(|r| r.running_containers == 0));
+    assert!(snapshot.records.iter().all(|r| r.running_containers == 0));
 }
 
 #[test]
@@ -108,12 +105,8 @@ fn host_profiles_are_reservation_scoped() {
     // What the library guarantees: the spec keeps the profile and moves
     // re-derive it from the target reservation.
     let region = RegionBuilder::new(RegionTemplate::tiny(), 33).build();
-    let spec = ReservationSpec::guaranteed(
-        "db",
-        10.0,
-        RruTable::uniform(&region.catalog, 1.0),
-    )
-    .with_host_profile(7);
+    let spec = ReservationSpec::guaranteed("db", 10.0, RruTable::uniform(&region.catalog, 1.0))
+        .with_host_profile(7);
     assert_eq!(spec.host_profile, 7);
     let clone = spec.clone();
     assert_eq!(clone.host_profile, 7, "profiles survive spec plumbing");

@@ -1,0 +1,325 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use, backed by a
+//! lightweight timing loop: a short warm-up, then repeated timed
+//! iterations bounded by both a sample count and a wall-clock budget.
+//! Median per-iteration time is printed per benchmark. When the binary
+//! is invoked by `cargo test` (`--test` present in the arguments, or
+//! any test-harness flag), each routine runs exactly once as a smoke
+//! test so `cargo test -q` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; the
+/// vendored harness always re-runs setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name + parameter id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id showing only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_test: bool,
+    /// Median seconds per iteration of the last run.
+    last_median: f64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.last_median = 0.0;
+            return;
+        }
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            samples.push(t0.elapsed().as_secs_f64());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_median = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` on fresh inputs from `setup` each iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            self.last_median = 0.0;
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_secs_f64());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench binaries with libtest-style flags; any
+        // of these means "run fast, don't measure".
+        let smoke_test = std::env::args().any(|a| {
+            a == "--test" || a == "--list" || a.starts_with("--format") || a == "--bench=skip"
+        });
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+            smoke_test: self.smoke_test,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks one function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let smoke = self.smoke_test;
+        run_one(
+            &id.label(),
+            20,
+            Duration::from_secs(3),
+            Duration::from_millis(300),
+            smoke,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of related benchmarks sharing tuning.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_test: bool,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The vendored harness keeps runs quick: the budget is honored
+        // as an upper bound but capped so `cargo bench` stays snappy.
+        self.measurement_time = d.min(Duration::from_secs(5));
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.smoke_test,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks one function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.smoke_test,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_test: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        smoke_test,
+        last_median: f64::NAN,
+    };
+    f(&mut bencher);
+    if smoke_test {
+        println!("bench {label}: ok (smoke test)");
+    } else if bencher.last_median.is_finite() {
+        println!("bench {label}: median {}", fmt_time(bencher.last_median));
+    } else {
+        println!("bench {label}: no measurement recorded");
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // libtest passes `--list` when enumerating; report nothing.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

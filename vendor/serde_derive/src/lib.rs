@@ -1,0 +1,272 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The container cannot fetch crates, so `syn`/`quote` are unavailable;
+//! this derive hand-parses the item's token stream. It supports exactly
+//! the shapes the workspace uses: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, struct variants), with no `#[serde]`
+//! attributes. `Serialize` lowers to the vendored serde's
+//! `to_value(&self) -> serde::Value`; `Deserialize` is a marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (vendored `to_value` flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (marker impl in the vendored stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_item(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Parses a struct/enum item down to its name and field structure.
+fn parse_item(input: TokenStream) -> (String, Kind) {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Scan past attributes and visibility to the `struct`/`enum` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: `#[...]` (skip the bracket group).
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    iter.next();
+                }
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported ({name})");
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+        other => panic!("serde_derive: unexpected token after type name: {other:?}"),
+    };
+    (name, kind)
+}
+
+/// Extracts the field names of a named-field body (struct or variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field name, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (struct or variant).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut iter);
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                iter.next();
+                VariantFields::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                VariantFields::Named(parse_named_fields(inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // The `[...]` group.
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) the next comma that is not
+/// nested inside `<...>` generic arguments.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders the vendored serde's [`serde::Value`] tree as JSON text.
+//! Only the serialization entry points the workspace calls are
+//! provided (`to_string`, `to_string_pretty`).
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the vendored renderer is total, so this is
+/// never produced in practice; the type exists for API compatibility).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Integral floats print with a trailing `.0` like serde_json.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                // serde_json errors on non-finite floats; emitting null is
+                // the lossy-but-total choice for benchmark dumps.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_indents_nested_maps() {
+        let v: Vec<(String, Vec<u32>)> = vec![("a".into(), vec![1, 2])];
+        let map: std::collections::BTreeMap<String, Vec<u32>> = v.into_iter().collect();
+        let s = to_string_pretty(&map).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+}
