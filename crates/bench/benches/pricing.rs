@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the simplex pricing engine: the same LP
+//! solved under each [`PricingRule`], at sizes where the full Dantzig
+//! scan is respectively cheap, noticeable, and dominant. These quantify
+//! the pricing half of the paper's Section 3.5.3 solve-time budget the
+//! way `solver.rs` quantifies the basis engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ras_milp::simplex::{solve_lp, LpStatus, PricingRule, SimplexConfig};
+use ras_milp::standard::StandardForm;
+use ras_milp::{LinExpr, Model, Sense, VarType};
+
+/// A transportation LP with `m` supplies and `m` demands (`m²` columns).
+fn transportation(m: usize) -> StandardForm {
+    let mut model = Model::new();
+    let mut vars = Vec::new();
+    for i in 0..m {
+        for j in 0..m {
+            vars.push(model.add_var(format!("x{i}_{j}"), VarType::Continuous, 0.0, f64::INFINITY));
+        }
+    }
+    for i in 0..m {
+        let e = LinExpr::sum((0..m).map(|j| (vars[i * m + j], 1.0)));
+        model.add_constraint(format!("s{i}"), e, Sense::Le, 10.0 + (i % 3) as f64);
+        let e = LinExpr::sum((0..m).map(|j| (vars[j * m + i], 1.0)));
+        model.add_constraint(format!("d{i}"), e, Sense::Ge, 8.0 + (i % 2) as f64);
+    }
+    let mut obj = LinExpr::zero();
+    for i in 0..m {
+        for j in 0..m {
+            obj += LinExpr::term(vars[i * m + j], 1.0 + ((i * 7 + j * 3) % 11) as f64);
+        }
+    }
+    model.set_objective(obj);
+    StandardForm::from_model(&model)
+}
+
+/// A diagonal region-scale LP: `n` rows, one structural nonzero per row
+/// (the `large_lp.rs` shape, scaled down for bench iteration counts).
+fn diagonal(n: usize, k: usize) -> StandardForm {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 2.0))
+        .collect();
+    for (i, v) in vars.iter().enumerate() {
+        let rhs = if i < k { 1.0 } else { 0.0 };
+        m.add_constraint(format!("c{i}"), LinExpr::from(*v), Sense::Ge, rhs);
+    }
+    m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, 1.0))));
+    StandardForm::from_model(&m)
+}
+
+const RULES: [PricingRule; 3] = [
+    PricingRule::Dantzig,
+    PricingRule::Devex,
+    PricingRule::PartialDevex,
+];
+
+fn solve_with(sf: &StandardForm, pricing: PricingRule) -> f64 {
+    let cfg = SimplexConfig {
+        pricing,
+        ..SimplexConfig::default()
+    };
+    let r = solve_lp(sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+    assert_eq!(r.status, LpStatus::Optimal);
+    r.objective
+}
+
+fn bench_pricing_transportation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing_transportation");
+    for m in [10usize, 30] {
+        let sf = transportation(m);
+        for rule in RULES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{rule:?}"), m * m),
+                &sf,
+                |b, sf| b.iter(|| solve_with(sf, rule)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pricing_region_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pricing_region_scale");
+    group.sample_size(10);
+    let sf = diagonal(20_000, 250);
+    for rule in RULES {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{rule:?}"), 20_000),
+            &sf,
+            |b, sf| b.iter(|| solve_with(sf, rule)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pricing_transportation,
+    bench_pricing_region_scale
+);
+criterion_main!(benches);

@@ -25,6 +25,11 @@ fn main() {
     // Average the breakdown over several perturbed solves.
     let mut acc: [PhaseStats; 2] = [PhaseStats::default(), PhaseStats::default()];
     let mut phase2_runs = 0usize;
+    // Pricing-engine counters aggregated across both phases (the MIP
+    // step's simplex work, which dominates phase 1).
+    let mut pivots = 0usize;
+    let mut rebuilds = 0usize;
+    let mut cand_hits = 0usize;
     let rounds = 10u64;
     for round in 0..rounds {
         instance::perturb(&mut inst, round);
@@ -42,6 +47,9 @@ fn main() {
                 acc[slot].initial_state_seconds += s.initial_state_seconds;
                 acc[slot].mip_seconds += s.mip_seconds;
                 acc[slot].total_seconds += s.total_seconds;
+                pivots += s.mip_stats.simplex_iterations;
+                rebuilds += s.mip_stats.pricing_full_rebuilds;
+                cand_hits += s.mip_stats.pricing_candidate_hits;
                 if slot == 1 {
                     phase2_runs += 1;
                 }
@@ -84,6 +92,10 @@ fn main() {
     }
     exp.note(format!(
         "{phase2_runs}/{rounds} solves ran a phase 2 (it only runs when rack goals are violated)"
+    ));
+    exp.note(format!(
+        "pricing: {pivots} simplex pivots, {rebuilds} full reduced-cost rebuilds, \
+         {cand_hits} candidate-list hits"
     ));
     exp.note("shape check: MIP share of phase 1 should exceed its share of phase 2");
     exp.finish();

@@ -115,10 +115,19 @@ impl BranchAndBound {
             ..SolveStats::default()
         };
         let root_start = Instant::now();
-        let root = solve_lp(&sf, &root_lower, &root_upper, &lp_config);
+        // The root LP runs to completion regardless of the wall-clock
+        // deadline: without a proven root bound every reported gap is
+        // infinite (the fig09 regression), and an interrupted root must
+        // honestly publish no bound at all. The node loop below still
+        // enforces the time limit, so the solve stops right after the
+        // root if the budget is already spent.
+        let root_config = SimplexConfig {
+            deadline: None,
+            ..lp_config.clone()
+        };
+        let root = solve_lp(&sf, &root_lower, &root_upper, &root_config);
         stats.root_lp_seconds = root_start.elapsed().as_secs_f64();
-        stats.simplex_iterations += root.iterations;
-        stats.lp_refactorizations += root.refactorizations;
+        stats.record_lp(&root);
         match root.status {
             LpStatus::Infeasible => return Err(SolveError::Infeasible),
             LpStatus::Unbounded => return Err(SolveError::Unbounded),
@@ -253,8 +262,7 @@ impl BranchAndBound {
                 node.warm.as_deref(),
             );
             stats.nodes += 1;
-            stats.simplex_iterations += lp.iterations;
-            stats.lp_refactorizations += lp.refactorizations;
+            stats.record_lp(&lp);
             match lp.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => return Err(SolveError::Unbounded),
@@ -490,8 +498,7 @@ impl BranchAndBound {
                         (j, v)
                     });
                     let mut lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
-                    stats.simplex_iterations += lp.iterations;
-                    stats.lp_refactorizations += lp.refactorizations;
+                    stats.record_lp(&lp);
                     if lp.status != LpStatus::Optimal {
                         // Rounding to nearest may have cut off feasibility;
                         // retry the opposite rounding direction once.
@@ -505,8 +512,7 @@ impl BranchAndBound {
                         lower[j] = other;
                         upper[j] = other;
                         lp = solve_lp_warm(sf, &lower, &upper, lp_config, warm.as_ref());
-                        stats.simplex_iterations += lp.iterations;
-                        stats.lp_refactorizations += lp.refactorizations;
+                        stats.record_lp(&lp);
                         if lp.status != LpStatus::Optimal {
                             return None;
                         }

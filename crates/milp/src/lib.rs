@@ -15,9 +15,11 @@
 //! * [`lu`] — sparse LU factorization (Gilbert–Peierls left-looking
 //!   elimination) backing the large-instance basis engine;
 //! * [`simplex`] — a bounded-variable, two-phase revised primal simplex
-//!   with a pluggable basis engine: dense inverse for small instances,
+//!   with a pluggable basis engine (dense inverse for small instances,
 //!   sparse LU plus eta-file updates for region-scale models, both with
-//!   periodic refactorization;
+//!   periodic refactorization) and a pluggable pricing engine (Dantzig,
+//!   devex, and partial devex over a candidate list, with incrementally
+//!   maintained reduced costs);
 //! * [`branch`] — best-bound branch-and-bound with pseudo-cost /
 //!   most-fractional branching, rounding/diving incumbent heuristics, gap
 //!   reporting and node/time limits (Figure 9 measures exactly this gap);
@@ -57,4 +59,5 @@ pub use branch::BranchAndBound;
 pub use expr::{LinExpr, Var};
 pub use localsearch::LocalSearch;
 pub use model::{Constraint, Model, Sense, VarType};
+pub use simplex::{PricingRule, PricingStats};
 pub use solution::{Solution, SolveConfig, SolveError, SolveStats, Status};

@@ -201,16 +201,12 @@ impl LocalSearch {
 
         let stats = SolveStats {
             nodes: proposals,
-            simplex_iterations: 0,
-            lp_refactorizations: 0,
             solve_seconds: start.elapsed().as_secs_f64(),
             best_bound: f64::NEG_INFINITY,
             absolute_gap: f64::INFINITY,
             gap: f64::INFINITY,
             hit_limit: true,
-            setup_seconds: 0.0,
-            root_lp_seconds: 0.0,
-            mip_seconds: 0.0,
+            ..SolveStats::default()
         };
         match best {
             Some((obj, vals)) => Ok(Solution {

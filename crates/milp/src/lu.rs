@@ -25,6 +25,8 @@ pub struct LuFactors {
     pivot_row: Vec<usize>,
     /// Basis column (slot) eliminated at each step.
     slot_of_step: Vec<usize>,
+    /// Inverse of `slot_of_step`: the step that eliminated each slot.
+    step_of_slot: Vec<usize>,
     /// `L` by step: off-diagonal multipliers, indexed by original row.
     l: CscStore,
     /// `U` by step: off-diagonal entries, indexed by *earlier step*.
@@ -48,6 +50,7 @@ impl LuFactors {
             m,
             pivot_row: (0..m).collect(),
             slot_of_step: (0..m).collect(),
+            step_of_slot: (0..m).collect(),
             l,
             u,
             u_diag: signs.to_vec(),
@@ -188,10 +191,15 @@ impl LuFactors {
             l.finish_column();
             u.finish_column();
         }
+        let mut step_of_slot = vec![0usize; m];
+        for (k, &slot) in slot_of_step.iter().enumerate() {
+            step_of_slot[slot] = k;
+        }
         Some(Self {
             m,
             pivot_row,
             slot_of_step,
+            step_of_slot,
             l,
             u,
             u_diag,
@@ -251,6 +259,40 @@ impl LuFactors {
         // pivoted by a *later* step, already solved in this sweep.
         for k in (0..m).rev() {
             let mut s = scratch[k];
+            for (r, lv) in self.l.column(k) {
+                s -= lv * v[r];
+            }
+            v[self.pivot_row[k]] = s;
+        }
+    }
+
+    /// Solves `Bᵀ ρ = e_slot` (BTRAN of a unit vector) into `v`, which is
+    /// overwritten entirely. Equivalent to zeroing `v`, setting
+    /// `v[slot] = 1`, and calling [`btran`](Self::btran), but skips the
+    /// Uᵀ forward-solve prefix before the step that eliminated `slot`
+    /// (everything earlier stays zero). This is the pricing engine's
+    /// pivot-row extraction: `ρ = B⁻ᵀ e_r` feeds the α-row kernel that
+    /// updates reduced costs incrementally. `scratch` must have length
+    /// `m`; its prior contents are ignored.
+    pub fn btran_unit(&self, slot: usize, v: &mut [f64], scratch: &mut [f64]) {
+        let m = self.m;
+        let k0 = self.step_of_slot[slot];
+        // Uᵀ forward solve starting at k0; steps before k0 are zero, so
+        // guard reads of `scratch` against the unsolved (stale) prefix.
+        for k in k0..m {
+            let mut s = if k == k0 { 1.0 } else { 0.0 };
+            for (t, uv) in self.u.column(k) {
+                if t >= k0 {
+                    s -= uv * scratch[t];
+                }
+            }
+            scratch[k] = s / self.u_diag[k];
+        }
+        // Lᵀ backward solve. L's column `k` only reads rows pivoted by
+        // later steps, all written earlier in this sweep, so `v` needs no
+        // pre-zeroing: every row is assigned exactly once.
+        for k in (0..m).rev() {
+            let mut s = if k < k0 { 0.0 } else { scratch[k] };
             for (r, lv) in self.l.column(k) {
                 s -= lv * v[r];
             }
@@ -368,6 +410,30 @@ mod tests {
             vec![(0, 1.0), (1, 1.0), (2, 2.0)],
         ];
         assert!(LuFactors::factorize(3, &cols, 1e-12).is_none());
+    }
+
+    #[test]
+    fn btran_unit_matches_btran_of_unit_vector() {
+        let cols = vec![
+            vec![(0, 1.0)],
+            vec![(1, 2.0), (3, 1.0)],
+            vec![(2, -1.0)],
+            vec![(1, 1.0), (3, 3.0), (4, 1.0)],
+            vec![(4, 1.0), (0, 0.5)],
+        ];
+        let m = cols.len();
+        let lu = LuFactors::factorize(m, &cols, 1e-12).expect("nonsingular");
+        let mut scratch = vec![0.0; m];
+        for slot in 0..m {
+            let mut expected = vec![0.0; m];
+            expected[slot] = 1.0;
+            lu.btran(&mut expected, &mut scratch);
+            // Poison the outputs so btran_unit has to overwrite them.
+            let mut got = vec![f64::NAN; m];
+            let mut dirty = vec![f64::NAN; m];
+            lu.btran_unit(slot, &mut got, &mut dirty);
+            assert_close(&got, &expected);
+        }
     }
 
     #[test]

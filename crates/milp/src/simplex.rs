@@ -20,6 +20,13 @@ use crate::standard::StandardForm;
 /// basis inverse to the sparse LU engine.
 pub const AUTO_DENSE_MAX_ROWS: usize = 256;
 
+/// Above this many columns (structural + slack + artificial),
+/// [`PricingRule::Auto`] switches from full devex pricing to partial
+/// devex over a candidate list: below it a full scan per pivot is cheap
+/// and the better pivot quality wins; above it the scan itself is the
+/// bottleneck.
+pub const AUTO_PARTIAL_MIN_COLS: usize = 4096;
+
 /// Hard row cap for the *explicitly requested* dense engine: the dense
 /// `B⁻¹` needs `m²` doubles, so beyond this the solve is refused with
 /// [`LpStatus::TooLarge`] instead of aborting on out-of-memory.
@@ -43,6 +50,46 @@ pub enum LpStatus {
     TooLarge,
 }
 
+/// Entering-variable pricing rule (see [`SimplexConfig::pricing`]).
+///
+/// All rules select from the same eligibility set (reduced cost pushes
+/// the objective down from the bound the variable rests on), so every
+/// rule reaches the same optimum; they differ only in how many pivots
+/// they take and what each selection scan costs. Anti-cycling is
+/// orthogonal: after a long degenerate run the engine switches to
+/// Bland's rule on exact reduced costs regardless of the configured
+/// pricing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Devex up to [`AUTO_PARTIAL_MIN_COLS`] columns, partial devex
+    /// above.
+    #[default]
+    Auto,
+    /// Classic full scan for the most negative reduced cost. Cheapest
+    /// per scan only when reduced costs must be recomputed anyway; kept
+    /// as the differential-testing baseline.
+    Dantzig,
+    /// Devex reference-framework weights (Forrest & Goldfarb): pick the
+    /// maximizer of `d_j² / w_j` over maintained reduced costs, update
+    /// the weights of the columns touched by each pivot row.
+    Devex,
+    /// Devex merit restricted to a rotating candidate list, rebuilt from
+    /// a full scan only when the list runs dry. The default for large
+    /// models, where a full per-pivot scan dominates solve time.
+    PartialDevex,
+}
+
+/// Pricing-engine counters for one LP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PricingStats {
+    /// Pivots whose entering variable came straight from the candidate
+    /// list (partial pricing only).
+    pub candidate_hits: usize,
+    /// Full scans over every column: reduced-cost refreshes plus
+    /// candidate-list rebuilds.
+    pub full_rebuilds: usize,
+}
+
 /// Result of an LP solve.
 #[derive(Debug, Clone)]
 pub struct LpResult {
@@ -60,6 +107,8 @@ pub struct LpResult {
     pub iterations: usize,
     /// Basis (re)factorizations performed.
     pub refactorizations: usize,
+    /// Pricing-engine counters (see [`PricingStats`]).
+    pub pricing: PricingStats,
     /// Optimal basis snapshot (present on `Optimal`), usable to warm-start
     /// a re-solve after bound changes via [`solve_lp_warm`].
     pub basis: Option<Basis>,
@@ -108,6 +157,8 @@ pub struct SimplexConfig {
     pub refactor_interval: usize,
     /// Basis-inverse representation (see [`BasisEngine`]).
     pub engine: BasisEngine,
+    /// Entering-variable pricing rule (see [`PricingRule`]).
+    pub pricing: PricingRule,
 }
 
 impl Default for SimplexConfig {
@@ -120,6 +171,7 @@ impl Default for SimplexConfig {
             feas_tol: 1e-7,
             refactor_interval: 200,
             engine: BasisEngine::default(),
+            pricing: PricingRule::default(),
         }
     }
 }
@@ -151,6 +203,7 @@ pub fn solve_lp(
             duals: Vec::new(),
             iterations: 0,
             refactorizations: 0,
+            pricing: PricingStats::default(),
             basis: None,
         };
     }
@@ -390,9 +443,15 @@ impl SparseBasis {
     }
 
     fn rho(&mut self, row: usize, out: &mut [f64]) {
-        out.iter_mut().for_each(|v| *v = 0.0);
-        out[row] = 1.0;
-        self.btran(out);
+        if self.etas.is_empty() {
+            // Right after a (re)factorization the unit BTRAN can skip
+            // the solve prefix before the step that pivoted `row`.
+            self.lu.btran_unit(row, out, &mut self.scratch);
+        } else {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            out[row] = 1.0;
+            self.btran(out);
+        }
     }
 
     fn update(&mut self, row: usize, w: &[f64]) {
@@ -512,6 +571,29 @@ struct Simplex<'a> {
     y: Vec<f64>,
     w: Vec<f64>,
     rho: Vec<f64>,
+    // Pricing engine state (see `select_entering`).
+    /// Configured rule with `Auto` resolved at construction.
+    rule: PricingRule,
+    /// Maintained reduced costs `d_j = c_j − yᵀA_j` for every column.
+    d: Vec<f64>,
+    /// Whether `d` matches the current basis (up to incremental drift).
+    d_valid: bool,
+    /// Whether `d` was recomputed from the duals with no pivot since.
+    /// Optimality is only declared on a fresh scan: the incremental
+    /// updates are allowed to drift between refreshes.
+    d_fresh: bool,
+    /// Devex reference-framework weights.
+    devex: Vec<f64>,
+    /// Partial-pricing candidate list (column indices).
+    candidates: Vec<u32>,
+    /// α-row scatter workspace: `alpha[j] = ρᵀA_j` for touched columns.
+    alpha: Vec<f64>,
+    /// Epoch marks for `alpha` (valid iff equal to `alpha_epoch`).
+    alpha_mark: Vec<u32>,
+    alpha_epoch: u32,
+    /// Columns touched by the current α-row scatter.
+    alpha_cols: Vec<u32>,
+    pricing: PricingStats,
 }
 
 impl<'a> Simplex<'a> {
@@ -529,6 +611,16 @@ impl<'a> Simplex<'a> {
             BasisEngine::Dense => false,
             BasisEngine::SparseLu => true,
             BasisEngine::Auto => m > AUTO_DENSE_MAX_ROWS,
+        };
+        let rule = match config.pricing {
+            PricingRule::Auto => {
+                if total > AUTO_PARTIAL_MIN_COLS {
+                    PricingRule::PartialDevex
+                } else {
+                    PricingRule::Devex
+                }
+            }
+            explicit => explicit,
         };
         Self {
             sf,
@@ -555,6 +647,17 @@ impl<'a> Simplex<'a> {
             y: vec![0.0; m],
             w: vec![0.0; m],
             rho: vec![0.0; m],
+            rule,
+            d: vec![0.0; total],
+            d_valid: false,
+            d_fresh: false,
+            devex: vec![1.0; total],
+            candidates: Vec::new(),
+            alpha: vec![0.0; total],
+            alpha_mark: vec![0; total],
+            alpha_epoch: 0,
+            alpha_cols: Vec::new(),
+            pricing: PricingStats::default(),
         }
     }
 
@@ -645,6 +748,7 @@ impl<'a> Simplex<'a> {
             duals: self.y,
             iterations: self.iterations,
             refactorizations: self.refactorizations,
+            pricing: self.pricing,
             basis,
         }
     }
@@ -707,6 +811,13 @@ impl<'a> Simplex<'a> {
 
     /// Runs pivots until optimal / unbounded / iteration limit.
     fn optimize(&mut self) -> LpStatus {
+        // Pricing state resets on every (re)entry: the costs may have
+        // changed (phase switch, warm-start cleanup) and devex restarts
+        // from the reference framework of the current basis.
+        self.d_valid = false;
+        self.d_fresh = false;
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
+        self.candidates.clear();
         loop {
             if self.iterations >= self.config.max_iterations {
                 return LpStatus::IterationLimit;
@@ -719,9 +830,8 @@ impl<'a> Simplex<'a> {
                     }
                 }
             }
-            self.compute_duals();
             let use_bland = self.degenerate_run > 64;
-            let Some((q, d_q)) = self.price(use_bland) else {
+            let Some((q, d_q)) = self.select_entering(use_bland) else {
                 return LpStatus::Optimal;
             };
             self.iterations += 1;
@@ -747,6 +857,10 @@ impl<'a> Simplex<'a> {
                     } else {
                         self.lower[q]
                     };
+                    // A bound flip leaves the basis — and therefore the
+                    // duals and every reduced cost — unchanged; only the
+                    // flipped column's eligibility sign changes, which
+                    // `eligible_d` reads live.
                     if t <= self.config.feas_tol {
                         self.degenerate_run += 1;
                     } else {
@@ -754,7 +868,24 @@ impl<'a> Simplex<'a> {
                     }
                 }
                 Ratio::Pivot { t, row, to_upper } => {
+                    let leaving = self.basis[row];
+                    // The α-row (`ρᵀA` for ρ = B⁻ᵀe_row) must come from
+                    // the *pre-pivot* basis, so extract it before
+                    // `apply_step` pushes the product-form update.
+                    let incremental = self.rule != PricingRule::Dantzig
+                        && self.d_valid
+                        && self.prepare_pivot_row(row, q);
                     self.apply_step(q, sigma, t, Some((row, to_upper)));
+                    if incremental {
+                        self.update_pricing_after_pivot(q, leaving, d_q);
+                        self.d_fresh = false;
+                    } else {
+                        // Dantzig recomputes from scratch every pivot
+                        // (the baseline behaviour); the devex rules fall
+                        // back to a refresh when the α-row was unusable.
+                        self.d_valid = false;
+                        self.d_fresh = false;
+                    }
                     if t <= self.config.feas_tol {
                         self.degenerate_run += 1;
                     } else {
@@ -782,36 +913,263 @@ impl<'a> Simplex<'a> {
     }
 
     /// Selects an entering column; returns `(column, reduced cost)`.
-    fn price(&self, bland: bool) -> Option<(usize, f64)> {
+    ///
+    /// Reduced costs are *maintained*: refreshed from the duals only
+    /// when invalidated (phase entry, refactorization, Dantzig baseline,
+    /// a failed α-row update) and otherwise patched incrementally per
+    /// pivot. Because the incremental path may drift, `None` — proven
+    /// optimality — is only ever returned after a scan over freshly
+    /// recomputed reduced costs.
+    fn select_entering(&mut self, use_bland: bool) -> Option<(usize, f64)> {
+        if use_bland {
+            // Bland's anti-cycling guarantee needs exact reduced costs.
+            self.refresh_reduced_costs();
+            return self.pick_bland();
+        }
+        if !self.d_valid {
+            self.refresh_reduced_costs();
+        }
+        if let Some(pick) = self.pick_by_rule() {
+            return Some(pick);
+        }
+        if self.d_fresh {
+            return None;
+        }
+        // The maintained costs found no candidate, but they may have
+        // drifted; verify against exact reduced costs before declaring
+        // optimality.
+        self.refresh_reduced_costs();
+        self.pick_by_rule()
+    }
+
+    fn pick_by_rule(&mut self) -> Option<(usize, f64)> {
+        match self.rule {
+            PricingRule::Dantzig => self.pick_dantzig(),
+            PricingRule::Devex => self.pick_devex(),
+            PricingRule::PartialDevex => self.pick_partial(),
+            PricingRule::Auto => unreachable!("Auto is resolved at construction"),
+        }
+    }
+
+    /// Recomputes the duals and every nonbasic reduced cost from scratch.
+    fn refresh_reduced_costs(&mut self) {
+        self.compute_duals();
+        for j in 0..self.n0 + self.m {
+            self.d[j] = if self.position[j] != usize::MAX {
+                0.0
+            } else {
+                self.costs[j] - self.column_dot_y(j)
+            };
+        }
+        self.d_valid = true;
+        self.d_fresh = true;
+        if self.rule == PricingRule::PartialDevex {
+            // Stale candidates were ranked on drifted costs.
+            self.candidates.clear();
+        }
+        self.pricing.full_rebuilds += 1;
+    }
+
+    /// The maintained reduced cost of `j` if it is an eligible entering
+    /// candidate (nonbasic, not fixed, cost pushes off its bound).
+    fn eligible_d(&self, j: usize) -> Option<f64> {
+        if self.position[j] != usize::MAX || self.lower[j] == self.upper[j] {
+            return None;
+        }
+        let d = self.d[j];
         let tol = self.config.opt_tol;
+        let eligible = if self.is_free(j) {
+            d.abs() > tol
+        } else if self.at_upper[j] {
+            d > tol
+        } else {
+            d < -tol
+        };
+        eligible.then_some(d)
+    }
+
+    /// Bland's rule: the first eligible column.
+    fn pick_bland(&self) -> Option<(usize, f64)> {
+        (0..self.n0 + self.m).find_map(|j| self.eligible_d(j).map(|d| (j, d)))
+    }
+
+    /// Dantzig: most negative (largest-magnitude) reduced cost.
+    fn pick_dantzig(&self) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for j in 0..self.n0 + self.m {
-            if self.position[j] != usize::MAX {
+            let Some(d) = self.eligible_d(j) else {
                 continue;
-            }
-            if self.lower[j] == self.upper[j] {
-                continue; // Fixed variable can never improve.
-            }
-            let d = self.costs[j] - self.column_dot_y(j);
-            let eligible = if self.is_free(j) {
-                d.abs() > tol
-            } else if self.at_upper[j] {
-                d > tol
-            } else {
-                d < -tol
             };
-            if !eligible {
-                continue;
-            }
-            if bland {
-                return Some((j, d));
-            }
             match best {
                 Some((_, bd)) if d.abs() <= bd.abs() => {}
                 _ => best = Some((j, d)),
             }
         }
         best
+    }
+
+    /// Devex: maximize `d_j² / w_j` over all eligible columns.
+    fn pick_devex(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for j in 0..self.n0 + self.m {
+            let Some(d) = self.eligible_d(j) else {
+                continue;
+            };
+            let merit = d * d / self.devex[j];
+            match best {
+                Some((_, _, bm)) if merit <= bm => {}
+                _ => best = Some((j, d, merit)),
+            }
+        }
+        best.map(|(j, d, _)| (j, d))
+    }
+
+    /// Partial devex: best devex merit over the candidate list, with
+    /// lazy removal of entries that went ineligible; a dry list triggers
+    /// one full-scan rebuild before giving up.
+    fn pick_partial(&mut self) -> Option<(usize, f64)> {
+        for attempt in 0..2 {
+            let mut best: Option<(usize, f64, f64)> = None;
+            let mut keep = 0;
+            for idx in 0..self.candidates.len() {
+                let j = self.candidates[idx] as usize;
+                if let Some(d) = self.eligible_d(j) {
+                    self.candidates[keep] = j as u32;
+                    keep += 1;
+                    let merit = d * d / self.devex[j];
+                    match best {
+                        Some((_, _, bm)) if merit <= bm => {}
+                        _ => best = Some((j, d, merit)),
+                    }
+                }
+            }
+            self.candidates.truncate(keep);
+            if let Some((j, d, _)) = best {
+                if attempt == 0 {
+                    self.pricing.candidate_hits += 1;
+                }
+                return Some((j, d));
+            }
+            if attempt == 0 {
+                self.rebuild_candidates();
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the candidate list from a full eligibility scan, keeping
+    /// the top slice by devex merit when there are more candidates than
+    /// the cap.
+    fn rebuild_candidates(&mut self) {
+        self.pricing.full_rebuilds += 1;
+        let total = self.n0 + self.m;
+        // Take the list out so the merit closure can borrow `self`.
+        let mut cands = std::mem::take(&mut self.candidates);
+        cands.clear();
+        for j in 0..total {
+            if self.eligible_d(j).is_some() {
+                cands.push(j as u32);
+            }
+        }
+        let cap = ((total as f64).sqrt() as usize * 2).clamp(64, 2048);
+        if cands.len() > cap {
+            let merit = |j: &u32| {
+                let j = *j as usize;
+                self.d[j] * self.d[j] / self.devex[j]
+            };
+            cands.select_nth_unstable_by(cap - 1, |a, b| {
+                merit(b)
+                    .partial_cmp(&merit(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            cands.truncate(cap);
+        }
+        self.candidates = cands;
+    }
+
+    /// Extracts the pivot row for incremental pricing: `ρ = B⁻ᵀe_row` of
+    /// the current (pre-pivot) basis, scattered into the α-row
+    /// `alpha[j] = ρᵀA_j` over the columns reachable through the rows
+    /// where ρ is nonzero (found via the matrix's row-major mirror).
+    ///
+    /// Returns false — caller falls back to a full refresh — when the
+    /// α-row disagrees with the FTRAN'd direction on the entering
+    /// column (`α_q` must equal `w[row]`), which signals numerical
+    /// drift in the basis representation.
+    fn prepare_pivot_row(&mut self, row: usize, q: usize) -> bool {
+        self.repr.rho(row, &mut self.rho);
+        self.alpha_epoch = self.alpha_epoch.wrapping_add(1);
+        let epoch = self.alpha_epoch;
+        self.alpha_cols.clear();
+        let sf = self.sf;
+        for r in 0..self.m {
+            let rho_r = self.rho[r];
+            if rho_r.abs() <= 1e-13 {
+                continue;
+            }
+            for (col, v) in sf.matrix.row(r) {
+                if self.alpha_mark[col] != epoch {
+                    self.alpha_mark[col] = epoch;
+                    self.alpha[col] = 0.0;
+                    self.alpha_cols.push(col as u32);
+                }
+                self.alpha[col] += rho_r * v;
+            }
+            // The artificial for row `r` is a single ±1 entry there.
+            let art = self.n0 + r;
+            if self.alpha_mark[art] != epoch {
+                self.alpha_mark[art] = epoch;
+                self.alpha[art] = 0.0;
+                self.alpha_cols.push(art as u32);
+            }
+            self.alpha[art] += self.art_sign[r] * rho_r;
+        }
+        let expected = self.w[row];
+        let got = if self.alpha_mark[q] == epoch {
+            self.alpha[q]
+        } else {
+            0.0
+        };
+        expected.abs() > self.config.pivot_tol
+            && (got - expected).abs() <= 1e-7 * (1.0 + expected.abs())
+    }
+
+    /// Patches reduced costs and devex weights after the pivot that put
+    /// `q` into the basis and dropped `leaving` out, using the α-row
+    /// prepared by [`prepare_pivot_row`](Self::prepare_pivot_row):
+    /// `d'_j = d_j − (d_q/α_q)·α_j`, and the devex reference-framework
+    /// update `w'_j = max(w_j, (α_j/α_q)²·γ_q)`.
+    fn update_pricing_after_pivot(&mut self, q: usize, leaving: usize, d_q: f64) {
+        let alpha_q = self.alpha[q];
+        let ratio = d_q / alpha_q;
+        let gamma_q = self.devex[q];
+        let mut exploded = false;
+        for idx in 0..self.alpha_cols.len() {
+            let j = self.alpha_cols[idx] as usize;
+            // Basic columns (q included, freshly pivoted in) keep d = 0;
+            // `leaving` gets its exact post-pivot values below.
+            if j == q || j == leaving || self.position[j] != usize::MAX {
+                continue;
+            }
+            let a_j = self.alpha[j];
+            self.d[j] -= ratio * a_j;
+            let scaled = a_j / alpha_q;
+            let w_new = scaled * scaled * gamma_q;
+            if w_new > self.devex[j] {
+                self.devex[j] = w_new;
+                exploded |= w_new > 1e12;
+            }
+        }
+        self.d[q] = 0.0;
+        self.d[leaving] = -ratio;
+        let w_leave = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+        self.devex[leaving] = w_leave;
+        exploded |= w_leave > 1e12;
+        if exploded {
+            // Restart the reference framework once weights outgrow their
+            // numerical usefulness (standard devex practice).
+            self.devex.iter_mut().for_each(|w| *w = 1.0);
+        }
     }
 
     fn column_dot_y(&self, j: usize) -> f64 {
@@ -966,6 +1324,10 @@ impl<'a> Simplex<'a> {
         for (i, &ri) in r.iter().enumerate() {
             self.x[self.basis[i]] = ri;
         }
+        // The rebuilt representation supersedes whatever incremental
+        // drift the maintained reduced costs accumulated against the old
+        // one; force a refresh at the next pricing step.
+        self.d_valid = false;
         true
     }
 
@@ -1549,6 +1911,70 @@ mod tests {
         let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &auto);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective + 1.0).abs() < 1e-6);
+    }
+
+    /// Every pricing rule reaches the same optimum on the fixture LPs —
+    /// they only differ in pivot selection, never in the answer.
+    #[test]
+    fn pricing_rules_agree_on_fixtures() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x), Sense::Le, 4.0);
+        m.add_constraint("c2", 2.0 * y, Sense::Le, 12.0);
+        m.add_constraint("c3", 3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        m.set_objective(-3.0 * x - 5.0 * y);
+        let sf = StandardForm::from_model(&m);
+        for pricing in [
+            PricingRule::Dantzig,
+            PricingRule::Devex,
+            PricingRule::PartialDevex,
+        ] {
+            let cfg = SimplexConfig {
+                pricing,
+                ..SimplexConfig::default()
+            };
+            let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+            assert_eq!(r.status, LpStatus::Optimal, "{pricing:?}");
+            assert!(
+                (r.objective + 36.0).abs() < 1e-6,
+                "{pricing:?}: {}",
+                r.objective
+            );
+        }
+    }
+
+    /// Partial pricing records its candidate-list activity: a solve
+    /// needs at least one full scan (the final optimality proof) and
+    /// reports hits only when the list actually served a pivot.
+    #[test]
+    fn partial_pricing_reports_stats() {
+        let mut m = Model::new();
+        let n = 30;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 10.0))
+            .collect();
+        for i in 0..n - 1 {
+            m.add_constraint(
+                format!("c{i}"),
+                1.0 * vars[i] + 1.0 * vars[i + 1],
+                Sense::Le,
+                7.0 + (i % 3) as f64,
+            );
+        }
+        m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, -1.0))));
+        let sf = StandardForm::from_model(&m);
+        let cfg = SimplexConfig {
+            pricing: PricingRule::PartialDevex,
+            ..SimplexConfig::default()
+        };
+        let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!(r.pricing.full_rebuilds >= 1, "optimality needs a full scan");
+        assert!(
+            r.pricing.candidate_hits <= r.iterations,
+            "hits cannot exceed pivots"
+        );
     }
 
     /// Optimal duals must be dual feasible: reduced costs respect the

@@ -28,6 +28,12 @@ pub struct SolveStats {
     pub simplex_iterations: usize,
     /// Total basis (re)factorizations across all LP solves.
     pub lp_refactorizations: usize,
+    /// Pivots served straight from the partial-pricing candidate list
+    /// across all LP solves (see `simplex::PricingStats`).
+    pub pricing_candidate_hits: usize,
+    /// Full pricing scans (reduced-cost refreshes plus candidate-list
+    /// rebuilds) across all LP solves.
+    pub pricing_full_rebuilds: usize,
     /// Wall-clock seconds spent in the solve.
     pub solve_seconds: f64,
     /// Best proven lower bound on the objective.
@@ -44,6 +50,16 @@ pub struct SolveStats {
     pub root_lp_seconds: f64,
     /// Seconds spent in branch and bound proper (paper's "MIP" step).
     pub mip_seconds: f64,
+}
+
+impl SolveStats {
+    /// Accumulates one LP solve's counters into the MIP-level totals.
+    pub fn record_lp(&mut self, lp: &crate::simplex::LpResult) {
+        self.simplex_iterations += lp.iterations;
+        self.lp_refactorizations += lp.refactorizations;
+        self.pricing_candidate_hits += lp.pricing.candidate_hits;
+        self.pricing_full_rebuilds += lp.pricing.full_rebuilds;
+    }
 }
 
 /// Configuration for a MIP solve.

@@ -2,10 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A read-only CSC matrix.
+/// A read-only CSC matrix with a row-major mirror.
 ///
 /// Columns are contiguous `(row, value)` runs; the simplex engine iterates
-/// columns during pricing (`d_j = c_j − yᵀA_j`) and FTRAN.
+/// columns during pricing (`d_j = c_j − yᵀA_j`) and FTRAN. The row-major
+/// mirror (built once at construction) serves the pricing engine's α-row
+/// kernel: given the BTRAN'd pivot row `ρ`, the updates `α_j = ρᵀA_j`
+/// only touch columns with a nonzero in some row where `ρ` is nonzero,
+/// which row iteration finds without scanning every column.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CscMatrix {
     rows: usize,
@@ -13,6 +17,9 @@ pub struct CscMatrix {
     col_starts: Vec<usize>,
     row_idx: Vec<u32>,
     values: Vec<f64>,
+    row_starts: Vec<usize>,
+    col_idx: Vec<u32>,
+    row_values: Vec<f64>,
 }
 
 impl CscMatrix {
@@ -49,12 +56,35 @@ impl CscMatrix {
             }
             col_starts.push(row_idx.len());
         }
+        // Row-major mirror by counting sort: one pass to size each row,
+        // one pass to place every entry in column order within its row.
+        let mut row_starts = vec![0usize; rows + 1];
+        for &r in &row_idx {
+            row_starts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_starts[i + 1] += row_starts[i];
+        }
+        let mut cursor = row_starts.clone();
+        let mut col_idx = vec![0u32; row_idx.len()];
+        let mut row_values = vec![0.0f64; row_idx.len()];
+        for col in 0..columns.len() {
+            for k in col_starts[col]..col_starts[col + 1] {
+                let r = row_idx[k] as usize;
+                col_idx[cursor[r]] = col as u32;
+                row_values[cursor[r]] = values[k];
+                cursor[r] += 1;
+            }
+        }
         Self {
             rows,
             cols: columns.len(),
             col_starts,
             row_idx,
             values,
+            row_starts,
+            col_idx,
+            row_values,
         }
     }
 
@@ -93,6 +123,22 @@ impl CscMatrix {
         for (r, v) in self.column(col) {
             out[r] += scale * v;
         }
+    }
+
+    /// Iterates the `(col, value)` entries of one row (the row-major
+    /// mirror), in ascending column order.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.row_starts[row];
+        let end = self.row_starts[row + 1];
+        self.col_idx[start..end]
+            .iter()
+            .zip(&self.row_values[start..end])
+            .map(|(c, v)| (*c as usize, *v))
+    }
+
+    /// Number of stored nonzeros in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_starts[row + 1] - self.row_starts[row]
     }
 }
 
@@ -216,6 +262,27 @@ mod tests {
         let mut out = vec![0.0; 2];
         m.scatter_column(2, 2.0, &mut out);
         assert_eq!(out, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn row_mirror_matches_columns() {
+        let m = sample();
+        let r0: Vec<_> = m.row(0).collect();
+        assert_eq!(r0, vec![(0, 1.0), (2, 2.0)]);
+        let r1: Vec<_> = m.row(1).collect();
+        assert_eq!(r1, vec![(1, 3.0)]);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        // Every column entry appears exactly once in the row mirror.
+        let mut from_rows: Vec<(usize, usize, f64)> = (0..m.rows())
+            .flat_map(|r| m.row(r).map(move |(c, v)| (r, c, v)))
+            .collect();
+        let mut from_cols: Vec<(usize, usize, f64)> = (0..m.cols())
+            .flat_map(|c| m.column(c).map(move |(r, v)| (r, c, v)))
+            .collect();
+        from_rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        from_cols.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(from_rows, from_cols);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Release-mode timing smoke test: devex / partial-devex pricing must
+//! beat the Dantzig full-scan baseline on a region-scale LP by a clear
+//! margin, so a pricing regression fails CI instead of silently landing.
+//!
+//! The threshold is deliberately generous (the measured speedup is much
+//! larger — see CHANGES.md); the point is to catch the pathological
+//! regression where incremental reduced-cost maintenance stops working
+//! and every pivot silently degrades back to a full O(n·nnz) rescan.
+
+use std::time::Instant;
+
+use ras_milp::simplex::{solve_lp, LpStatus, PricingRule, SimplexConfig, DENSE_MAX_ROWS};
+use ras_milp::standard::StandardForm;
+use ras_milp::{LinExpr, Model, Sense, VarType};
+
+/// The `large_lp.rs` instance: 100,000 single-variable constraints,
+/// `x_i >= 1` for the first `k` variables, optimum exactly `k`.
+fn large_instance(n: usize, k: usize) -> StandardForm {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 2.0))
+        .collect();
+    for (i, v) in vars.iter().enumerate() {
+        let rhs = if i < k { 1.0 } else { 0.0 };
+        m.add_constraint(format!("c{i}"), LinExpr::from(*v), Sense::Ge, rhs);
+    }
+    m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, 1.0))));
+    StandardForm::from_model(&m)
+}
+
+fn time_solve(sf: &StandardForm, pricing: PricingRule) -> (f64, f64) {
+    let cfg = SimplexConfig {
+        pricing,
+        ..SimplexConfig::default()
+    };
+    let start = Instant::now();
+    let r = solve_lp(sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(r.status, LpStatus::Optimal, "{pricing:?} must solve");
+    (secs, r.objective)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing assertions are only meaningful in release builds"
+)]
+fn devex_beats_dantzig_on_region_scale_lp() {
+    let n = 4 * DENSE_MAX_ROWS; // 100,000 rows
+    let k = 250;
+    let sf = large_instance(n, k);
+
+    // Warm the allocator/caches once, off the clock.
+    let _ = time_solve(&sf, PricingRule::PartialDevex);
+
+    let (dantzig, obj_dantzig) = time_solve(&sf, PricingRule::Dantzig);
+    let (devex, obj_devex) = time_solve(&sf, PricingRule::Devex);
+    let (partial, obj_partial) = time_solve(&sf, PricingRule::PartialDevex);
+    println!(
+        "dantzig {dantzig:.3}s  devex {devex:.3}s ({:.1}x)  partial {partial:.3}s ({:.1}x)",
+        dantzig / devex,
+        dantzig / partial
+    );
+    assert!((obj_dantzig - k as f64).abs() < 1e-6);
+    assert!((obj_devex - obj_dantzig).abs() < 1e-6);
+    assert!((obj_partial - obj_dantzig).abs() < 1e-6);
+
+    // The acceptance bar is 2x; assert 1.5x so CI noise on shared
+    // runners cannot flake an honest pass (the real margin is far
+    // larger — the full factor is recorded in CHANGES.md).
+    assert!(
+        dantzig > 1.5 * devex,
+        "devex ({devex:.3}s) must clearly beat dantzig ({dantzig:.3}s)"
+    );
+    assert!(
+        dantzig > 1.5 * partial,
+        "partial devex ({partial:.3}s) must clearly beat dantzig ({dantzig:.3}s)"
+    );
+}
