@@ -55,7 +55,7 @@ fn bench_two_phase_solve(c: &mut Criterion) {
         ("medium", RegionTemplate::medium(), 16),
     ] {
         let inst = instance::build(template, 3, reservations, 0.8);
-        let solver = AsyncSolver::new(inst.params.clone());
+        let mut solver = AsyncSolver::new(inst.params.clone());
         let snapshot = inst.broker.snapshot(SimTime::ZERO);
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {

@@ -14,7 +14,7 @@ use ras_topology::RegionTemplate;
 
 fn run(params: SolverParams, label: &str, exp: &mut Experiment) -> (usize, usize) {
     let mut inst = ras_bench::instance::build(RegionTemplate::tiny(), 99, 8, 0.7);
-    let solver = AsyncSolver::new(params);
+    let mut solver = AsyncSolver::new(params);
     let mut total_moves = 0usize;
     let mut in_use_moves = 0usize;
     for round in 0..12u64 {

@@ -17,7 +17,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
     let mut inst = instance::build(RegionTemplate::medium(), 7, 20, 0.85);
-    let solver = AsyncSolver::new(inst.params.clone());
+    let mut solver = AsyncSolver::new(inst.params.clone());
     let mut times = Vec::new();
     for round in 0..rounds {
         instance::perturb(&mut inst, round);

@@ -21,7 +21,7 @@ fn main() {
             spec.spread.rack_share = Some(0.015);
         }
     }
-    let solver = AsyncSolver::new(inst.params.clone());
+    let mut solver = AsyncSolver::new(inst.params.clone());
     // Average the breakdown over several perturbed solves.
     let mut acc: [PhaseStats; 2] = [PhaseStats::default(), PhaseStats::default()];
     let mut phase2_runs = 0usize;

@@ -52,7 +52,7 @@ fn main() {
         scan_intensity: 1.0,
     };
 
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let mut exp = Experiment::new(
         "fig15",
         "Cross-DC traffic % for Presto services as affinity constraints roll out",

@@ -30,7 +30,7 @@ fn main() {
             spec.spread.msb_share = Some(0.05);
         }
     }
-    let solver = AsyncSolver::new(inst.params.clone());
+    let mut solver = AsyncSolver::new(inst.params.clone());
     let snapshot = inst.broker.snapshot(SimTime::ZERO);
     let out = solver
         .solve(&inst.region, &inst.specs, &snapshot)

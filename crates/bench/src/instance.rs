@@ -81,7 +81,7 @@ pub fn build(
 
     // Warm-up solve + materialization, then container load.
     let params = SolverParams::default();
-    let solver = AsyncSolver::new(params.clone());
+    let mut solver = AsyncSolver::new(params.clone());
     if let Ok(out) = solver.solve(&region, &specs, &broker.snapshot(SimTime::ZERO)) {
         let _ = solver.apply(&out, &mut broker);
         for s in broker.pending_moves() {

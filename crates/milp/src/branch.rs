@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use crate::branching::PseudoCosts;
 use crate::model::{Model, VarType};
-use crate::simplex::{solve_lp, solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
+use crate::simplex::{solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
 use crate::solution::{Solution, SolveConfig, SolveError, SolveStats, Status};
 use crate::standard::StandardForm;
 
@@ -125,8 +125,17 @@ impl BranchAndBound {
             deadline: None,
             ..lp_config.clone()
         };
-        let root = solve_lp(&sf, &root_lower, &root_upper, &root_config);
+        // A warm basis from the previous round (repaired against column
+        // changes by `Basis::remap`) replaces the slack crash; the simplex
+        // falls back cold when it is stale or singular.
+        let warm_basis = self
+            .config
+            .warm_start
+            .as_ref()
+            .and_then(|w| w.basis.as_ref());
+        let root = solve_lp_warm(&sf, &root_lower, &root_upper, &root_config, warm_basis);
         stats.root_lp_seconds = root_start.elapsed().as_secs_f64();
+        stats.warm_basis_accepted = root.warm_basis_used;
         stats.record_lp(&root);
         match root.status {
             LpStatus::Infeasible => return Err(SolveError::Infeasible),
@@ -149,16 +158,28 @@ impl BranchAndBound {
         };
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
-        if let Some(init) = &self.config.initial_incumbent {
+        // True while the incumbent is still a supplied seed (not something
+        // the search found); prunes against it count as seed payoff.
+        let mut incumbent_is_seed = false;
+        let warm_incumbent = self
+            .config
+            .warm_start
+            .as_ref()
+            .and_then(|w| w.incumbent.as_ref());
+        for init in self.config.initial_incumbent.iter().chain(warm_incumbent) {
             if init.len() == model.num_vars() && model.violations(init, 1e-6).is_empty() {
                 let mut values = init.clone();
                 for &j in &int_vars {
                     values[j] = values[j].round();
                 }
                 let obj = model.objective().eval(&values);
-                incumbent = Some((obj, values));
+                if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
+                    incumbent = Some((obj, values));
+                    incumbent_is_seed = true;
+                }
             }
         }
+        stats.incumbent_seeded = incumbent.is_some();
         // Both the dive and the integral-root shortcut require a *proven*
         // root optimum; an iteration-limited root goes straight to the
         // search, which will re-solve it.
@@ -179,6 +200,7 @@ impl BranchAndBound {
                     ) {
                         if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
                             incumbent = Some((obj, values));
+                            incumbent_is_seed = false;
                         }
                     }
                 }
@@ -194,6 +216,7 @@ impl BranchAndBound {
                     objective: obj,
                     values,
                     stats,
+                    root_basis: root.basis.clone(),
                 });
             }
         }
@@ -248,6 +271,9 @@ impl BranchAndBound {
             if let Some((inc_obj, _)) = &incumbent {
                 if entry.bound >= inc_obj - self.config.abs_gap_tol {
                     // All remaining nodes have bounds at least this large.
+                    if incumbent_is_seed {
+                        stats.nodes_pruned_by_seed += heap.len() + 1;
+                    }
                     best_open_bound = *inc_obj;
                     heap.clear();
                     break;
@@ -291,6 +317,9 @@ impl BranchAndBound {
             }
             if let Some((inc_obj, _)) = &incumbent {
                 if lp.objective >= inc_obj - self.config.abs_gap_tol {
+                    if incumbent_is_seed {
+                        stats.nodes_pruned_by_seed += 1;
+                    }
                     continue;
                 }
             }
@@ -310,6 +339,7 @@ impl BranchAndBound {
                 ) {
                     if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
                         incumbent = Some((obj, values));
+                        incumbent_is_seed = false;
                     }
                 }
             }
@@ -319,6 +349,7 @@ impl BranchAndBound {
                     let (obj, values) = self.snap(model, &lp, &int_vars);
                     if incumbent.as_ref().is_none_or(|(io, _)| obj < *io) {
                         incumbent = Some((obj, values));
+                        incumbent_is_seed = false;
                     }
                 }
                 Some(branch_var) => {
@@ -404,6 +435,7 @@ impl BranchAndBound {
                     objective: obj,
                     values,
                     stats,
+                    root_basis: root.basis.clone(),
                 })
             }
             None if hit_limit => Err(SolveError::NoIncumbent),

@@ -59,5 +59,5 @@ pub use branch::BranchAndBound;
 pub use expr::{LinExpr, Var};
 pub use localsearch::LocalSearch;
 pub use model::{Constraint, Model, Sense, VarType};
-pub use simplex::{PricingRule, PricingStats};
-pub use solution::{Solution, SolveConfig, SolveError, SolveStats, Status};
+pub use simplex::{Basis, PricingRule, PricingStats};
+pub use solution::{Solution, SolveConfig, SolveError, SolveStats, Status, WarmStart};

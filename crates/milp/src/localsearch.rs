@@ -214,6 +214,7 @@ impl LocalSearch {
                 objective: obj,
                 values: vals,
                 stats,
+                root_basis: None,
             }),
             None => Err(SolveError::NoIncumbent),
         }

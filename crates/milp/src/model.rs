@@ -162,6 +162,19 @@ impl Model {
         info.upper = upper;
     }
 
+    /// Replaces the right-hand side of an existing constraint.
+    ///
+    /// This is the row-level analogue of [`set_bounds`](Self::set_bounds):
+    /// continuous re-solves patch drifted supply counts in place instead
+    /// of rebuilding the whole model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_rhs(&mut self, index: usize, rhs: f64) {
+        self.constraints[index].rhs = rhs;
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.vars.len()

@@ -112,16 +112,117 @@ pub struct LpResult {
     /// Optimal basis snapshot (present on `Optimal`), usable to warm-start
     /// a re-solve after bound changes via [`solve_lp_warm`].
     pub basis: Option<Basis>,
+    /// True when the solve actually started from supplied warm-start state
+    /// — the exact basis, or its slack-degraded bound snapshot — and the
+    /// dual repair succeeded (no fallback to a cold two-phase solve).
+    pub warm_basis_used: bool,
 }
 
 /// A basis snapshot: which column is basic in each row, and at which bound
 /// each nonbasic real column rests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Basis {
     /// Basic column per row (may include artificial columns pinned at 0).
     pub basis: Vec<usize>,
     /// Nonbasic-at-upper flag for the `n + m` real columns.
     pub at_upper: Vec<bool>,
+}
+
+impl Basis {
+    /// Re-targets this basis, recorded against one model, onto another
+    /// model whose variables and constraints are matched *by name*.
+    ///
+    /// Column layout in both models follows [`StandardForm`]: `n`
+    /// structural columns in variable order, then `m` slacks (with
+    /// the slack of row `i` at column `n + i`), so slacks are matched
+    /// through their row's name. Basic structural columns whose name
+    /// survives map over; vanished columns leave their row to be
+    /// covered by their own slack when it is still free, and by an
+    /// artificial (`n + m + row`) otherwise. [`solve_lp_warm`] pins
+    /// artificials to zero and repairs the result — or falls back to
+    /// the slack crash when it is unusable — so remapping can only
+    /// change how much repair work the next solve does, never its
+    /// final objective.
+    pub fn remap(
+        &self,
+        old_vars: &[String],
+        old_rows: &[String],
+        new_vars: &[String],
+        new_rows: &[String],
+    ) -> Basis {
+        use std::collections::HashMap;
+        let (old_n, old_m) = (old_vars.len(), old_rows.len());
+        let (new_n, new_m) = (new_vars.len(), new_rows.len());
+        let var_index: HashMap<&str, usize> = new_vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+        let row_index: HashMap<&str, usize> = new_rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.as_str(), i))
+            .collect();
+        // Map an old column index to the same-named new column.
+        let map_col = |j: usize| -> Option<usize> {
+            if j < old_n {
+                var_index.get(old_vars[j].as_str()).copied()
+            } else if j < old_n + old_m {
+                // Slack of old row `j - old_n` -> slack of the same-named
+                // new row.
+                row_index
+                    .get(old_rows[j - old_n].as_str())
+                    .copied()
+                    .map(|r| new_n + r)
+            } else {
+                // Artificials never survive a remap.
+                None
+            }
+        };
+
+        let n0 = new_n + new_m;
+        let mut basis = vec![usize::MAX; new_m];
+        let mut used = vec![false; n0];
+        for (old_row, &bj) in self.basis.iter().enumerate() {
+            let Some(new_col) = map_col(bj) else {
+                continue;
+            };
+            let Some(&new_row) = old_rows
+                .get(old_row)
+                .and_then(|name| row_index.get(name.as_str()))
+            else {
+                continue;
+            };
+            if basis[new_row] == usize::MAX && !used[new_col] {
+                basis[new_row] = new_col;
+                used[new_col] = true;
+            }
+        }
+        // Cover rows whose basic column vanished: own slack when free,
+        // else the row's artificial (repaired or rejected downstream).
+        for (row, b) in basis.iter_mut().enumerate() {
+            if *b == usize::MAX {
+                let slack = new_n + row;
+                if !used[slack] {
+                    *b = slack;
+                    used[slack] = true;
+                } else {
+                    *b = n0 + row;
+                }
+            }
+        }
+        // Bound sides carry over by name; unmatched columns rest on
+        // their lower bound.
+        let mut at_upper = vec![false; n0];
+        for (j, &up) in self.at_upper.iter().enumerate() {
+            if up {
+                if let Some(new_col) = map_col(j) {
+                    at_upper[new_col] = true;
+                }
+            }
+        }
+        Basis { basis, at_upper }
+    }
 }
 
 /// Which basis-inverse representation the simplex engine uses.
@@ -205,6 +306,7 @@ pub fn solve_lp(
             refactorizations: 0,
             pricing: PricingStats::default(),
             basis: None,
+            warm_basis_used: false,
         };
     }
     Simplex::new(sf, lower, upper, config.clone()).run()
@@ -750,6 +852,7 @@ impl<'a> Simplex<'a> {
             refactorizations: self.refactorizations,
             pricing: self.pricing,
             basis,
+            warm_basis_used: false,
         }
     }
 
@@ -1377,7 +1480,27 @@ impl<'a> Simplex<'a> {
             self.position[bj] = row;
         }
         if !self.refactor() {
-            return None;
+            // A remapped basis can go singular when rows changed under
+            // the model (two surviving columns that differed only in a
+            // vanished row become dependent). Degrade to the always-
+            // nonsingular slack basis but keep the warm bound snapshot:
+            // the nonbasic values still encode the previous solution, so
+            // the dual repair below starts near the old optimum instead
+            // of from scratch.
+            for &bj in &warm.basis {
+                if bj < self.n0 + m {
+                    self.position[bj] = usize::MAX;
+                }
+            }
+            let n = self.n0 - m;
+            for (i, slot) in self.basis.iter_mut().enumerate() {
+                let slack = n + i;
+                *slot = slack;
+                self.position[slack] = i;
+            }
+            if !self.refactor() {
+                return None;
+            }
         }
         // Dual repair: drive out-of-bounds basics onto their bounds.
         let max_repair = 4 * m + 200;
@@ -1385,7 +1508,9 @@ impl<'a> Simplex<'a> {
             let Some((row, target, to_upper)) = self.most_violated_basic() else {
                 // Primal feasible: a primal cleanup reaches optimality.
                 let status = self.optimize();
-                return Some(self.finish(status));
+                let mut result = self.finish(status);
+                result.warm_basis_used = true;
+                return Some(result);
             };
             if !self.dual_pivot(row, target, to_upper) {
                 return None;
@@ -1832,10 +1957,10 @@ mod tests {
         assert!((cold.objective - warm.objective).abs() < 1e-7);
     }
 
-    /// A singular warm basis must trigger the cold-start fallback, not a
-    /// wrong answer, on both engines.
+    /// A singular warm basis must degrade safely (slack-basis repair or
+    /// cold fallback), never a wrong answer, on both engines.
     #[test]
-    fn singular_warm_basis_falls_back_cold() {
+    fn singular_warm_basis_degrades_safely() {
         let mut m = Model::new();
         let x = m.add_var("x", VarType::Continuous, 0.0, 3.0);
         let y = m.add_var("y", VarType::Continuous, 0.0, 3.0);

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Final status of a MIP solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Status {
     /// Proven optimal within tolerances.
     Optimal,
@@ -16,7 +16,37 @@ pub enum Status {
     /// Proven unbounded.
     Unbounded,
     /// Limits hit before any feasible point was found.
+    #[default]
     Unknown,
+}
+
+/// Warm-start information carried from one solve round to the next.
+///
+/// RAS re-solves the region every ~30 minutes against a slightly-drifted
+/// input (the paper's "continuous" claim); both halves of this struct make
+/// the re-solve cost proportional to the drift instead of the fleet:
+///
+/// * [`basis`](Self::basis) — the optimal basis from the previous round's
+///   root LP. The simplex starts from it (repairing dual infeasibility)
+///   instead of performing a slack crash, and falls back to the cold path
+///   when the basis is stale or singular.
+/// * [`incumbent`](Self::incumbent) — the previous round's assignment as a
+///   full variable vector. Branch-and-bound validates it and, when
+///   feasible, installs it as the starting best-known solution so
+///   best-bound search prunes from iteration zero.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// Starting basis for the root LP relaxation.
+    pub basis: Option<crate::simplex::Basis>,
+    /// Candidate incumbent (full assignment over the model's variables).
+    pub incumbent: Option<Vec<f64>>,
+}
+
+impl WarmStart {
+    /// True when neither a basis nor an incumbent is present.
+    pub fn is_empty(&self) -> bool {
+        self.basis.is_none() && self.incumbent.is_none()
+    }
 }
 
 /// Statistics from a solve, used by the Figures 7–11 experiments.
@@ -50,6 +80,15 @@ pub struct SolveStats {
     pub root_lp_seconds: f64,
     /// Seconds spent in branch and bound proper (paper's "MIP" step).
     pub mip_seconds: f64,
+    /// True when the root LP started from a supplied warm basis and the
+    /// repair succeeded (no fallback to the slack crash).
+    pub warm_basis_accepted: bool,
+    /// True when a supplied incumbent validated and was installed as the
+    /// starting best-known solution.
+    pub incumbent_seeded: bool,
+    /// Nodes pruned against the seeded incumbent before any better
+    /// solution was found — the direct payoff of warm incumbent seeding.
+    pub nodes_pruned_by_seed: usize,
 }
 
 impl SolveStats {
@@ -89,6 +128,11 @@ pub struct SolveConfig {
     /// if it is strictly better, which is what makes steady-state
     /// re-solves quiescent (paper Expression 1's purpose).
     pub initial_incumbent: Option<Vec<f64>>,
+    /// Warm-start state from the previous round (basis + incumbent). The
+    /// basis seeds the root LP; the incumbent competes with
+    /// [`initial_incumbent`](Self::initial_incumbent) and the better valid
+    /// one is installed.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for SolveConfig {
@@ -103,6 +147,7 @@ impl Default for SolveConfig {
             stall_node_limit: 0,
             use_heuristics: true,
             initial_incumbent: None,
+            warm_start: None,
         }
     }
 }
@@ -128,6 +173,10 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Solve statistics.
     pub stats: SolveStats,
+    /// Final basis of the root LP relaxation, when it solved to
+    /// optimality. Persist it and hand it back through
+    /// [`SolveConfig::warm_start`] to warm-start the next round.
+    pub root_basis: Option<crate::simplex::Basis>,
 }
 
 impl Solution {
@@ -202,6 +251,7 @@ mod tests {
             objective: 0.0,
             values: vec![],
             stats: SolveStats::default(),
+            root_basis: None,
         };
         assert!(mk(Status::Optimal).is_usable());
         assert!(mk(Status::Feasible).is_usable());

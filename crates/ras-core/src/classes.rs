@@ -50,6 +50,49 @@ impl EquivClass {
     pub fn count(&self) -> usize {
         self.servers.len()
     }
+
+    /// Stable identity of the class, derived from its grouping key alone
+    /// (never from member count or position). Model variable/constraint
+    /// names embed this label so a basis snapshotted in one round can be
+    /// matched by name against the next round's model even after classes
+    /// appeared, vanished, or were reordered (see `ras_milp::Basis::remap`).
+    pub fn label(&self) -> String {
+        fn opt(r: Option<ReservationId>) -> String {
+            r.map_or_else(|| "-".to_string(), |r| r.0.to_string())
+        }
+        format!(
+            "h{}.m{}.k{}.c{}.t{}.u{}",
+            self.hardware.0,
+            self.msb.0,
+            self.rack
+                .map_or_else(|| "-".to_string(), |r| r.0.to_string()),
+            opt(self.current),
+            opt(self.target),
+            u8::from(self.in_use),
+        )
+    }
+
+    /// The grouping key as a comparable tuple, for cross-round diffing.
+    #[allow(clippy::type_complexity)]
+    pub fn key(
+        &self,
+    ) -> (
+        u32,
+        u32,
+        Option<u32>,
+        Option<ReservationId>,
+        Option<ReservationId>,
+        bool,
+    ) {
+        (
+            self.hardware.0,
+            self.msb.0,
+            self.rack.map(|r| r.0),
+            self.current,
+            self.target,
+            self.in_use,
+        )
+    }
 }
 
 /// Builds the equivalence classes for one solve.

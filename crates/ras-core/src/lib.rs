@@ -19,6 +19,7 @@
 //! * [`model`] — the MIP build (Expressions 1–7) with constraint softening;
 //! * [`assign`] — concretization of class counts into per-server targets;
 //! * [`phases`] — the two-phase solve orchestration;
+//! * [`session`] — the continuous warm-started solve session;
 //! * [`solver`] — the Async Solver facade writing targets to the broker;
 //! * [`baseline`] — Twine's previous greedy assignment (evaluation baseline);
 //! * [`buffers`] — failure-buffer sizing and accounting;
@@ -38,6 +39,7 @@ pub mod params;
 pub mod phases;
 pub mod reservation;
 pub mod rru;
+pub mod session;
 pub mod solver;
 pub mod stacking;
 pub mod stats;
@@ -46,4 +48,5 @@ pub use error::CoreError;
 pub use params::SolverParams;
 pub use reservation::{DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy};
 pub use rru::RruTable;
+pub use session::{SolveSession, WarmReport};
 pub use solver::{AsyncSolver, SolveOutput};

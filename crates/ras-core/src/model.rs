@@ -57,7 +57,7 @@ pub(crate) enum AuxInit {
 }
 
 /// A constructed RAS MIP plus the variable map to decode solutions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RasModel {
     /// The underlying MIP.
     pub model: Model,
@@ -69,6 +69,10 @@ pub struct RasModel {
     pub assignment_var_count: usize,
     /// Names of constraints that were softened (empty on a hard build).
     pub softened: Vec<String>,
+    /// Constraint index of each class's supply row (Expression 5), when
+    /// one exists. Continuous re-solves patch drifted class counts in
+    /// place through these instead of rebuilding the model.
+    pub supply_rows: Vec<Option<usize>>,
     /// The current assignment expressed as a full variable vector, used
     /// as the solver's warm incumbent: the search then only returns a
     /// different assignment when it is strictly better, which keeps
@@ -128,6 +132,41 @@ impl RasModel {
 /// the Online Mover loans idle servers to them out of band).
 pub fn solver_visible(spec: &ReservationSpec) -> bool {
     spec.kind != ReservationKind::Elastic
+}
+
+/// The current assignment as per-class counts: `counts[class][res]` is
+/// the number of members currently bound to `res`.
+pub(crate) fn current_counts(classes: &[EquivClass], n_specs: usize) -> Vec<Vec<usize>> {
+    classes
+        .iter()
+        .map(|class| {
+            let mut row = vec![0usize; n_specs];
+            if let Some(current) = class.current {
+                if let Some(slot) = row.get_mut(current.index()) {
+                    *slot = class.count();
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Constant part of the movement objective (Expression 1): the cost if
+/// every currently-bound server moved. Re-derived when a continuous
+/// re-solve patches drifted class counts into a cached model.
+pub(crate) fn movement_constant(classes: &[EquivClass], params: &SolverParams) -> f64 {
+    classes
+        .iter()
+        .filter(|c| c.current.is_some())
+        .map(|c| {
+            let m = if c.in_use {
+                params.move_cost_in_use
+            } else {
+                params.move_cost_unused
+            };
+            m * c.count() as f64
+        })
+        .sum()
 }
 
 /// Computes the RRUs each reservation currently holds, per MSB and per
@@ -213,14 +252,17 @@ pub fn build_model(
     let mut softened = Vec::new();
     let mut aux: Vec<(Var, AuxInit)> = Vec::new();
 
-    // Assignment variables n[c][r], Expression 5's primitives.
-    for (ci, class) in classes.iter().enumerate() {
+    // Assignment variables n[c][r], Expression 5's primitives. Names use
+    // the class's key-stable label (not its position) so warm bases can be
+    // remapped by name across rounds.
+    for class in classes.iter() {
+        let label = class.label();
         let mut row = Vec::with_capacity(specs.len());
         for spec in specs.iter() {
             let eligible = solver_visible(spec) && spec.rru.eligible(class.hardware);
             if eligible {
                 let var = model.add_var(
-                    format!("n[c{ci}][{}]", spec.name),
+                    format!("n[{label}][{}]", spec.name),
                     VarType::Integer,
                     0.0,
                     class.count() as f64,
@@ -238,15 +280,18 @@ pub fn build_model(
     }
 
     // Expression 5: each server in at most one reservation.
+    let mut supply_rows: Vec<Option<usize>> = Vec::with_capacity(classes.len());
     for (ci, class) in classes.iter().enumerate() {
         let terms: Vec<(Var, f64)> = vars[ci].iter().flatten().map(|v| (*v, 1.0)).collect();
-        if !terms.is_empty() {
-            model.add_constraint(
-                format!("supply[c{ci}]"),
+        if terms.is_empty() {
+            supply_rows.push(None);
+        } else {
+            supply_rows.push(Some(model.add_constraint(
+                format!("supply[{}]", class.label()),
                 LinExpr::sum(terms),
                 Sense::Le,
                 class.count() as f64,
-            );
+            )));
         }
     }
 
@@ -489,24 +534,13 @@ pub fn build_model(
         objective_constant,
         assignment_var_count,
         softened,
+        supply_rows,
         initial: Vec::new(),
         aux_defs: aux,
     };
     // Warm incumbent: the current assignment with auxiliaries valued by
     // replaying their definitions in creation order.
-    let current_counts: Vec<Vec<usize>> = classes
-        .iter()
-        .map(|class| {
-            let mut row = vec![0usize; specs.len()];
-            if let Some(current) = class.current {
-                if let Some(slot) = row.get_mut(current.index()) {
-                    *slot = class.count();
-                }
-            }
-            row
-        })
-        .collect();
-    ras.initial = ras.incumbent_from_counts(&current_counts);
+    ras.initial = ras.incumbent_from_counts(&current_counts(classes, specs.len()));
     ras
 }
 

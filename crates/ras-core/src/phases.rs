@@ -11,15 +11,16 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use ras_broker::{BrokerSnapshot, ReservationId};
-use ras_milp::{SolveConfig, SolveError};
+use ras_milp::{SolveConfig, SolveError, WarmStart};
 use ras_topology::{Region, ServerId};
 
 use crate::assign::concretize;
-use crate::classes::{build_classes, Granularity};
+use crate::classes::{build_classes, EquivClass, Granularity};
 use crate::error::CoreError;
-use crate::model::{build_model, soften_baseline, solver_visible};
+use crate::model::{build_model, soften_baseline, solver_visible, RasModel};
 use crate::params::SolverParams;
 use crate::reservation::{ReservationKind, ReservationSpec};
+use crate::session::SolveSession;
 use crate::stats::PhaseStats;
 
 /// Result of the two-phase solve.
@@ -34,22 +35,35 @@ pub struct TwoPhaseOutcome {
 }
 
 /// Runs both phases and returns the merged target assignment.
+///
+/// This is the stateless compatibility path: it spins up a one-shot
+/// [`SolveSession`] and runs a single cold round. Continuous callers
+/// (the [`crate::solver::AsyncSolver`], the sim's `continuous` scenario)
+/// keep the session alive instead, so each round warm-starts from the
+/// last.
 pub fn solve_two_phase(
     region: &Region,
     specs: &[ReservationSpec],
     snapshot: &BrokerSnapshot,
     params: &SolverParams,
 ) -> Result<TwoPhaseOutcome, CoreError> {
-    let (targets1, phase1) = run_phase(
-        region,
-        specs,
-        snapshot,
-        params,
-        Granularity::Msb,
-        false,
-        None,
-    )?;
+    let (outcome, _warm) = SolveSession::new().solve_round(region, specs, snapshot, params)?;
+    Ok(outcome)
+}
 
+/// Phase-2 refinement: rank reservations by rack overage under the
+/// phase-1 assignment, re-solve the worst offenders at rack granularity
+/// over a restricted universe, and merge. Phase 2 is always a cold solve
+/// — its universe and spec visibility change every round, so there is no
+/// temporal structure to exploit.
+pub(crate) fn refine_with_phase2(
+    region: &Region,
+    specs: &[ReservationSpec],
+    snapshot: &BrokerSnapshot,
+    params: &SolverParams,
+    targets1: Vec<Option<ReservationId>>,
+    phase1: PhaseStats,
+) -> TwoPhaseOutcome {
     // Rank reservations by rack overage under the phase-1 assignment.
     let overages = rack_overages(region, specs, &targets1, params);
     let visible = specs.iter().filter(|s| solver_visible(s)).count();
@@ -61,11 +75,11 @@ pub fn solve_two_phase(
         .take(budget)
         .collect();
     if selected.is_empty() {
-        return Ok(TwoPhaseOutcome {
+        return TwoPhaseOutcome {
             targets: targets1,
             phase1,
             phase2: None,
-        });
+        };
     }
 
     // Respect the assignment-variable budget by shrinking the selection.
@@ -109,23 +123,154 @@ pub fn solve_two_phase(
                     merged[i] = *t;
                 }
             }
-            Ok(TwoPhaseOutcome {
+            TwoPhaseOutcome {
                 targets: merged,
                 phase1,
                 phase2: Some(phase2),
-            })
+            }
         }
         // Phase 2 is an optimization pass: on failure keep phase-1 output.
-        Err(_) => Ok(TwoPhaseOutcome {
+        Err(_) => TwoPhaseOutcome {
             targets: targets1,
             phase1,
             phase2: None,
-        }),
+        },
     }
 }
 
-/// Runs a single phase: classes → model → solve (softening on demand) →
-/// concretize.
+/// Everything the session needs back from one phase solve: the decoded
+/// counts, the raw solution, and enough metadata to cache a warm start
+/// for the next round.
+pub(crate) struct PhaseSolveResult {
+    /// Decoded per-class assignment counts from the model actually solved.
+    pub counts: Vec<Vec<usize>>,
+    /// The MIP solution (of the hard model, or of the softened rebuild).
+    pub solution: ras_milp::Solution,
+    /// Softened constraint names (empty when the hard model solved).
+    pub softened: Vec<String>,
+    /// Assignment variables of the model actually solved.
+    pub assignment_vars: usize,
+    /// Memory estimate of the model actually solved.
+    pub memory_bytes: usize,
+    /// Movement-objective constant of the model actually solved.
+    pub objective_constant: f64,
+    /// Extra model-(re)build seconds spent inside the solve (softening).
+    pub extra_build_seconds: f64,
+    /// Structural variable names of the model actually solved — the name
+    /// space `solution.root_basis` lives in.
+    pub var_names: Vec<String>,
+    /// Constraint row names of the model actually solved.
+    pub row_names: Vec<String>,
+}
+
+/// Solves one already-built phase model, softening and retrying on
+/// infeasibility. This is the shared core under both the stateless
+/// [`run_phase`] and the warm-started [`SolveSession`] round: the session
+/// supplies a previous-round basis and seed incumbent (via
+/// [`WarmStart`]), the stateless path supplies neither.
+pub(crate) fn solve_prepared(
+    region: &Region,
+    specs: &[ReservationSpec],
+    classes: &[EquivClass],
+    ras: &RasModel,
+    params: &SolverParams,
+    rack_goals: bool,
+    warm: Option<WarmStart>,
+) -> Result<PhaseSolveResult, CoreError> {
+    let mut config = SolveConfig {
+        time_limit_seconds: params.phase_time_limit,
+        rel_gap_tol: params.mip_rel_gap,
+        abs_gap_tol: params.mip_abs_gap,
+        stall_node_limit: params.stall_node_limit,
+        initial_incumbent: Some(best_incumbent(ras, region, specs, classes, params)),
+        warm_start: warm,
+        ..SolveConfig::default()
+    };
+    let mut solution = ras.model.solve_with(&config);
+    if matches!(solution, Err(SolveError::TooLarge)) {
+        // A size refusal is a configuration problem, not infeasibility:
+        // softening and retrying would refuse again. Surface it directly.
+        return Err(CoreError::Solver(SolveError::TooLarge.to_string()));
+    }
+    let mut soft: Option<RasModel> = None;
+    let mut extra_build_seconds = 0.0;
+    if matches!(
+        solution,
+        Err(SolveError::Infeasible) | Err(SolveError::NoIncumbent)
+    ) {
+        // Soften: no constraint may regress beyond its current violation.
+        // (A NoIncumbent timeout also lands here: the softened model
+        // always contains the current assignment as a feasible point, so
+        // its heuristics cannot come up empty.) The softened model has a
+        // different column space, so the warm basis is dropped — staleness
+        // rule: a basis never crosses a structural rebuild un-remapped.
+        let soften_start = Instant::now();
+        let baseline = soften_baseline(region, specs, classes);
+        let soft_ras = build_model(region, specs, classes, params, rack_goals, Some(&baseline));
+        extra_build_seconds = soften_start.elapsed().as_secs_f64();
+        config.initial_incumbent = Some(best_incumbent(&soft_ras, region, specs, classes, params));
+        config.warm_start = None;
+        solution = soft_ras.model.solve_with(&config);
+        if matches!(solution, Err(SolveError::Infeasible)) {
+            // Cannot happen when the current assignment is well formed —
+            // surface the shortfalls for actionability.
+            let shortfalls = baseline
+                .capacity_shortfall
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s > 0.0)
+                .map(|(ri, s)| (ReservationId::from_index(ri), *s))
+                .collect();
+            return Err(CoreError::CapacityUnavailable { shortfalls });
+        }
+        soft = Some(soft_ras);
+    }
+    let solution = solution.map_err(|e| CoreError::Solver(e.to_string()))?;
+    let used = soft.as_ref().unwrap_or(ras);
+    let counts = used.decode(&solution);
+    Ok(PhaseSolveResult {
+        counts,
+        softened: used.softened.clone(),
+        assignment_vars: used.assignment_var_count,
+        memory_bytes: used.model.memory_estimate_bytes(),
+        objective_constant: used.objective_constant,
+        extra_build_seconds,
+        var_names: used.model.vars().iter().map(|v| v.name.clone()).collect(),
+        row_names: used
+            .model
+            .constraints()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+        solution,
+    })
+}
+
+/// Assembles the per-phase statistics from a phase solve.
+pub(crate) fn make_stats(
+    phase_start: Instant,
+    ras_build_seconds: f64,
+    classes: usize,
+    result: &PhaseSolveResult,
+) -> PhaseStats {
+    PhaseStats {
+        ras_build_seconds: ras_build_seconds + result.extra_build_seconds,
+        solver_build_seconds: result.solution.stats.setup_seconds,
+        initial_state_seconds: result.solution.stats.root_lp_seconds,
+        mip_seconds: result.solution.stats.mip_seconds,
+        total_seconds: phase_start.elapsed().as_secs_f64(),
+        assignment_vars: result.assignment_vars,
+        classes,
+        memory_bytes: result.memory_bytes,
+        mip_stats: result.solution.stats.clone(),
+        softened: result.softened.clone(),
+        status: result.solution.status,
+        objective: result.solution.objective + result.objective_constant,
+    }
+}
+
+/// Runs a single phase cold: classes → model → solve (softening on
+/// demand) → concretize.
 #[allow(clippy::type_complexity)]
 pub fn run_phase(
     region: &Region,
@@ -146,98 +291,47 @@ pub fn run_phase(
 
     let build_start = Instant::now();
     let classes = build_classes(region, snapshot, granularity, filter_dyn);
-    let mut ras = build_model(region, specs, &classes, params, rack_goals, None);
-    let warm = best_incumbent(&ras, region, specs, &classes, params);
-    let mut ras_build_seconds = build_start.elapsed().as_secs_f64();
+    let ras = build_model(region, specs, &classes, params, rack_goals, None);
+    let ras_build_seconds = build_start.elapsed().as_secs_f64();
 
-    let mut config = SolveConfig {
-        time_limit_seconds: params.phase_time_limit,
-        rel_gap_tol: params.mip_rel_gap,
-        abs_gap_tol: params.mip_abs_gap,
-        stall_node_limit: params.stall_node_limit,
-        initial_incumbent: Some(warm),
-        ..SolveConfig::default()
-    };
-    let mut solution = ras.model.solve_with(&config);
-    if matches!(solution, Err(SolveError::TooLarge)) {
-        // A size refusal is a configuration problem, not infeasibility:
-        // softening and retrying would refuse again. Surface it directly.
-        return Err(CoreError::Solver(SolveError::TooLarge.to_string()));
-    }
-    if matches!(
-        solution,
-        Err(SolveError::Infeasible) | Err(SolveError::NoIncumbent)
-    ) {
-        // Soften: no constraint may regress beyond its current violation.
-        // (A NoIncumbent timeout also lands here: the softened model
-        // always contains the current assignment as a feasible point, so
-        // its heuristics cannot come up empty.)
-        let soften_start = Instant::now();
-        let baseline = soften_baseline(region, specs, &classes);
-        ras = build_model(region, specs, &classes, params, rack_goals, Some(&baseline));
-        ras_build_seconds += soften_start.elapsed().as_secs_f64();
-        config.initial_incumbent = Some(best_incumbent(&ras, region, specs, &classes, params));
-        solution = ras.model.solve_with(&config);
-        if matches!(solution, Err(SolveError::Infeasible)) {
-            // Cannot happen when the current assignment is well formed —
-            // surface the shortfalls for actionability.
-            let shortfalls = baseline
-                .capacity_shortfall
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| **s > 0.0)
-                .map(|(ri, s)| (ReservationId::from_index(ri), *s))
-                .collect();
-            return Err(CoreError::CapacityUnavailable { shortfalls });
-        }
-    }
-    let solution = solution.map_err(|e| CoreError::Solver(e.to_string()))?;
-    let counts = ras.decode(&solution);
-    let targets = concretize(region, snapshot, &classes, &counts, specs.len());
-
-    let stats = PhaseStats {
-        ras_build_seconds,
-        solver_build_seconds: solution.stats.setup_seconds,
-        initial_state_seconds: solution.stats.root_lp_seconds,
-        mip_seconds: solution.stats.mip_seconds,
-        total_seconds: phase_start.elapsed().as_secs_f64(),
-        assignment_vars: ras.assignment_var_count,
-        classes: classes.len(),
-        memory_bytes: ras.model.memory_estimate_bytes(),
-        mip_stats: solution.stats.clone(),
-        softened: ras.softened.clone(),
-    };
+    let result = solve_prepared(region, specs, &classes, &ras, params, rack_goals, None)?;
+    let targets = concretize(region, snapshot, &classes, &result.counts, specs.len());
+    let stats = make_stats(phase_start, ras_build_seconds, classes.len(), &result);
     Ok((targets, stats))
 }
 
 /// Picks the best valid warm incumbent for a built model: the current
 /// assignment and the greedy spread-aware construction are both valued
-/// and validated; the cheaper valid one wins (in a softened model the
+/// and validated; the cheapest valid one wins (in a softened model the
 /// do-nothing point is always valid but pays the full softening penalty,
-/// so the greedy construction usually dominates it).
-fn best_incumbent(
-    ras: &crate::model::RasModel,
+/// so the greedy construction usually dominates it). A previous round's
+/// assignment arrives separately as a [`WarmStart`] incumbent.
+pub(crate) fn best_incumbent(
+    ras: &RasModel,
     region: &Region,
     specs: &[ReservationSpec],
-    classes: &[crate::classes::EquivClass],
+    classes: &[EquivClass],
     params: &SolverParams,
 ) -> Vec<f64> {
-    let current = ras.initial.clone();
-    let greedy = ras.incumbent_from_counts(&crate::heuristic::greedy_counts(
-        region, specs, classes, params,
-    ));
-    let score = |v: &Vec<f64>| -> Option<f64> {
+    let score = |v: &[f64]| -> Option<f64> {
         ras.model
             .violations(v, 1e-6)
             .is_empty()
             .then(|| ras.model.objective().eval(v))
     };
-    match (score(&current), score(&greedy)) {
-        (Some(a), Some(b)) if b < a => greedy,
-        (Some(_), _) => current,
-        (None, Some(_)) => greedy,
-        (None, None) => current,
+    let current = ras.initial.clone();
+    let greedy = ras.incumbent_from_counts(&crate::heuristic::greedy_counts(
+        region, specs, classes, params,
+    ));
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for candidate in [current.clone(), greedy] {
+        if let Some(s) = score(&candidate) {
+            if best.as_ref().is_none_or(|(b, _)| s < *b) {
+                best = Some((s, candidate));
+            }
+        }
     }
+    best.map_or(current, |(_, v)| v)
 }
 
 /// Rack-overage score per reservation under an assignment: total RRUs

@@ -86,7 +86,7 @@ impl DcAffinity {
 }
 
 /// A capacity request materialized as a reservation spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReservationSpec {
     /// Human-readable name (service or business unit).
     pub name: String,

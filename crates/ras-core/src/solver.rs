@@ -4,6 +4,12 @@
 //! two-phase MIP solve, and writes per-server *targets* back to the
 //! broker. Runs off the critical path: the Online Mover materializes the
 //! targets asynchronously, and container placement never waits on it.
+//!
+//! The solver owns a [`SolveSession`], so consecutive [`AsyncSolver::solve`]
+//! calls on the same instance are *continuous*: each round warm-starts
+//! from the previous one (cached model skeleton, root-LP basis, seeded
+//! incumbent). Drop or [`AsyncSolver::reset`] the solver to force a cold
+//! round.
 
 use ras_broker::{BrokerSnapshot, ReservationId, ResourceBroker};
 use ras_topology::Region;
@@ -12,8 +18,9 @@ use crate::assign::{count_moves, MoveStats};
 use crate::error::CoreError;
 use crate::model::solver_visible;
 use crate::params::SolverParams;
-use crate::phases::{solve_two_phase, TwoPhaseOutcome};
+use crate::phases::TwoPhaseOutcome;
 use crate::reservation::ReservationSpec;
+use crate::session::{SolveSession, WarmReport};
 use crate::stats::PhaseStats;
 
 /// Output of one solve: targets plus full statistics.
@@ -27,6 +34,8 @@ pub struct SolveOutput {
     pub phase2: Option<PhaseStats>,
     /// Moves this solve plans relative to current bindings.
     pub moves: MoveStats,
+    /// How the continuous session warm-started this round.
+    pub warm: WarmReport,
 }
 
 impl SolveOutput {
@@ -39,6 +48,33 @@ impl SolveOutput {
     pub fn assignment_vars(&self) -> usize {
         self.phase1.assignment_vars + self.phase2.as_ref().map_or(0, |p| p.assignment_vars)
     }
+
+    /// True when this round reused warm state from the previous round
+    /// (a supplied root basis, a seeded incumbent, or a cached model).
+    pub fn warm_start_used(&self) -> bool {
+        self.warm.warm_basis_supplied
+            || self.warm.seed_supplied
+            || self.warm.model_reused
+            || self.warm.model_patched
+    }
+
+    /// Simplex iterations spent in phase 1 (all LP solves of the MIP).
+    pub fn phase1_lp_iterations(&self) -> usize {
+        self.phase1.mip_stats.simplex_iterations
+    }
+
+    /// Simplex iterations spent in phase 2, zero when phase 2 did not run.
+    pub fn phase2_lp_iterations(&self) -> usize {
+        self.phase2
+            .as_ref()
+            .map_or(0, |p| p.mip_stats.simplex_iterations)
+    }
+
+    /// Total simplex iterations across both phases. Warm rounds should
+    /// spend measurably fewer than the cold round that preceded them.
+    pub fn lp_iterations(&self) -> usize {
+        self.phase1_lp_iterations() + self.phase2_lp_iterations()
+    }
 }
 
 /// The Async Solver.
@@ -46,25 +82,52 @@ impl SolveOutput {
 pub struct AsyncSolver {
     /// Cost coefficients and limits.
     pub params: SolverParams,
+    /// Warm-start state threaded between rounds.
+    session: SolveSession,
 }
 
 impl AsyncSolver {
     /// Creates a solver with the given parameters.
     pub fn new(params: SolverParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            session: SolveSession::new(),
+        }
+    }
+
+    /// Number of rounds this solver has completed.
+    pub fn rounds(&self) -> usize {
+        self.session.rounds()
+    }
+
+    /// True when the next solve can warm-start from cached state.
+    pub fn is_warm(&self) -> bool {
+        self.session.is_warm()
+    }
+
+    /// Drops all cached warm-start state; the next solve runs cold.
+    pub fn reset(&mut self) {
+        self.session.reset();
     }
 
     /// Validates specs against the region (actionable rejections,
     /// Section 5.3).
+    ///
+    /// One pass over the fleet builds per-hardware-type counts; each spec
+    /// is then answered in O(|catalog|) instead of O(|fleet|).
     pub fn validate(&self, region: &Region, specs: &[ReservationSpec]) -> Result<(), CoreError> {
+        let mut by_hardware = vec![0usize; region.catalog.len()];
+        for server in region.servers() {
+            by_hardware[server.hardware.index()] += 1;
+        }
         for (ri, spec) in specs.iter().enumerate() {
             if !solver_visible(spec) || spec.capacity <= 0.0 {
                 continue;
             }
-            let exists = region
-                .servers()
-                .iter()
-                .any(|s| spec.rru.eligible(s.hardware));
+            let exists = spec
+                .rru
+                .iter_eligible()
+                .any(|(hw, _)| by_hardware.get(hw.index()).is_some_and(|&n| n > 0));
             if !exists {
                 return Err(CoreError::NoEligibleHardware {
                     reservation: ReservationId::from_index(ri),
@@ -77,25 +140,33 @@ impl AsyncSolver {
     /// Runs one solve over a snapshot.
     ///
     /// `specs[i]` must correspond to `ReservationId(i)` as registered in
-    /// the broker.
+    /// the broker. Takes `&mut self` because each round updates the
+    /// warm-start session; use a fresh solver for an independent cold
+    /// solve.
     pub fn solve(
-        &self,
+        &mut self,
         region: &Region,
         specs: &[ReservationSpec],
         snapshot: &BrokerSnapshot,
     ) -> Result<SolveOutput, CoreError> {
         self.validate(region, specs)?;
-        let TwoPhaseOutcome {
-            targets,
-            phase1,
-            phase2,
-        } = solve_two_phase(region, specs, snapshot, &self.params)?;
+        let (
+            TwoPhaseOutcome {
+                targets,
+                phase1,
+                phase2,
+            },
+            warm,
+        ) = self
+            .session
+            .solve_round(region, specs, snapshot, &self.params)?;
         let moves = count_moves(snapshot, &targets);
         Ok(SolveOutput {
             targets,
             phase1,
             phase2,
             moves,
+            warm,
         })
     }
 
@@ -150,9 +221,10 @@ mod tests {
             RruTable::uniform(&region.catalog, 1.0),
         )];
         let r0 = broker.register_reservation("web");
-        let solver = AsyncSolver::default();
+        let mut solver = AsyncSolver::default();
         let snap = broker.snapshot(SimTime::ZERO);
         let output = solver.solve(&region, &specs, &snap).expect("solve");
+        assert!(!output.warm_start_used(), "first round runs cold");
         solver.apply(&output, &mut broker).expect("apply");
         let assigned = broker.iter().filter(|(_, r)| r.target == Some(r0)).count();
         assert!(
@@ -186,7 +258,7 @@ mod tests {
             RruTable::uniform(&region.catalog, 1.0),
         )];
         broker.register_reservation("web");
-        let solver = AsyncSolver::default();
+        let mut solver = AsyncSolver::default();
         let snap = broker.snapshot(SimTime::ZERO);
         let output = solver.solve(&region, &specs, &snap).expect("solve");
         solver.apply(&output, &mut broker).expect("apply");
@@ -202,6 +274,11 @@ mod tests {
             0,
             "steady state must be move-free (stability objective)"
         );
+        assert!(
+            output2.warm_start_used(),
+            "second round must run warm: {:?}",
+            output2.warm
+        );
     }
 
     #[test]
@@ -214,6 +291,7 @@ mod tests {
             phase1: PhaseStats::default(),
             phase2: None,
             moves: MoveStats::default(),
+            warm: WarmReport::default(),
         };
         assert!(solver.apply(&output, &mut small).is_err());
     }

@@ -1,6 +1,6 @@
 //! Per-phase solve statistics (the quantities behind Figures 8, 10, 11).
 
-use ras_milp::SolveStats;
+use ras_milp::{SolveStats, Status};
 use serde::{Deserialize, Serialize};
 
 /// Timing and size breakdown of one solver phase, matching the paper's
@@ -27,6 +27,12 @@ pub struct PhaseStats {
     pub mip_stats: SolveStats,
     /// Names of constraints that had to be softened.
     pub softened: Vec<String>,
+    /// Final solve status (differential cold-vs-warm checks compare this).
+    pub status: Status,
+    /// Full phase objective: MIP objective plus the movement constant of
+    /// the model actually solved. A warm solve and a cold solve of the
+    /// same round must agree on this within tolerance.
+    pub objective: f64,
 }
 
 impl PhaseStats {

@@ -8,10 +8,12 @@
 //! running inside each reservation. The same harness can instead drive
 //! Twine's previous greedy allocator as the evaluation baseline.
 
+pub mod continuous;
 pub mod failures;
 pub mod metrics;
 pub mod scenario;
 
+pub use continuous::{run_continuous, ContinuousConfig, RoundReport};
 pub use failures::{FailureInjector, FailureRates};
 pub use metrics::{HourSample, MetricsLog};
 pub use scenario::{AllocatorMode, SimConfig, Simulation};

@@ -40,7 +40,7 @@ fn main() {
     }
 
     // Admission: validation gives actionable rejections.
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     if let Err(e) = solver.validate(&region, &specs) {
         println!("admission rejected a request: {e}");
         return;

@@ -37,7 +37,7 @@ fn main() {
         broker.register_reservation(&s.name);
     }
 
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");

@@ -42,7 +42,7 @@ fn main() {
         });
     pinned.msb_buffer = false;
 
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     for (label, spec) in [("no affinity", unpinned), ("with affinity", pinned)] {
         let mut broker = ResourceBroker::new(region.server_count());
         broker.register_reservation(&spec.name);

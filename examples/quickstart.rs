@@ -31,7 +31,7 @@ fn main() {
 
     // 3. One solve assigns servers to reservations, optimizing spread,
     //    embedded failure buffers, and movement cost.
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let output = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");

@@ -39,7 +39,7 @@
 //! broker.register_reservation("web");
 //!
 //! // Solve and persist targets.
-//! let solver = AsyncSolver::default();
+//! let mut solver = AsyncSolver::default();
 //! let out = solver.solve(&region, &[spec], &broker.snapshot(SimTime::ZERO)).unwrap();
 //! solver.apply(&out, &mut broker).unwrap();
 //! assert!(broker.pending_moves().len() >= 40);

@@ -22,7 +22,7 @@ fn capacity_request_to_running_containers() {
         RruTable::uniform(&region.catalog, 1.0),
     )];
     let web = broker.register_reservation("web");
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");
@@ -66,7 +66,7 @@ fn msb_failure_drill_preserves_guarantee() {
     for s in &specs {
         broker.register_reservation(&s.name);
     }
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");
@@ -121,7 +121,7 @@ fn emergency_grant_then_corrective_solve() {
         granted.iter().map(|s| region.server(*s).msb).collect();
 
     // The next solve corrects the placement.
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::from_hours(1)))
         .expect("solve");
@@ -159,7 +159,7 @@ fn random_failure_replacement_within_a_minute() {
     for s in specs.iter().skip(1) {
         broker.register_reservation(&s.name);
     }
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");
@@ -209,7 +209,7 @@ fn hourly_resolve_converges_to_quiescence() {
     for s in &specs {
         broker.register_reservation(&s.name);
     }
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let mut mover = OnlineMover::new(&mut broker, MoverConfig::default());
     let mut trail = Vec::new();
     for hour in 0..12 {
@@ -248,7 +248,7 @@ fn server_bound_to_at_most_one_reservation_always() {
     for s in &specs {
         broker.register_reservation(&s.name);
     }
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");

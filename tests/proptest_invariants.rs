@@ -39,7 +39,7 @@ proptest! {
         for s in &specs {
             broker.register_reservation(&s.name);
         }
-        let solver = AsyncSolver::default();
+        let mut solver = AsyncSolver::default();
         let out = solver
             .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
             .expect("tiny regions with this demand always fit");
@@ -105,7 +105,7 @@ proptest! {
         for s in &specs {
             broker.register_reservation(&s.name);
         }
-        let solver = AsyncSolver::default();
+        let mut solver = AsyncSolver::default();
         let out = solver
             .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
             .expect("solve");

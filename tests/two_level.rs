@@ -19,7 +19,7 @@ fn candidates_for(template: RegionTemplate, seed: u64) -> usize {
         RruTable::uniform(&region.catalog, 1.0),
     )];
     broker.register_reservation("web");
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");
@@ -70,7 +70,7 @@ fn capacity_requests_do_not_block_container_requests() {
         RruTable::uniform(&region.catalog, 1.0),
     )];
     let web = broker.register_reservation("web");
-    let solver = AsyncSolver::default();
+    let mut solver = AsyncSolver::default();
     let out = solver
         .solve(&region, &specs, &broker.snapshot(SimTime::ZERO))
         .expect("solve");

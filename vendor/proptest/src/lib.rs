@@ -271,7 +271,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a range.
+    /// Length specification for [`vec()`]: an exact `usize` or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -314,7 +314,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
