@@ -35,7 +35,7 @@ fn main() {
             Err(e) => eprintln!("round {round}: solve failed: {e}"),
         }
     }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let p95 = percentile(&times, 95.0);
     let p99 = percentile(&times, 99.0);

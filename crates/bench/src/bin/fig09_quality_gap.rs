@@ -142,7 +142,7 @@ fn main() {
             Err(e) => eprintln!("round {round}: {e}"),
         }
     }
-    gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    gaps.sort_by(|a, b| a.total_cmp(b));
     let preemption_cost = inst.params.move_cost_in_use;
     let within_200 = gaps
         .iter()

@@ -12,8 +12,13 @@
 //! solve of the same input, the warm basis is accepted and the incumbent
 //! seed installed once the session settles, and warm/cold agree on
 //! status and phase-1 objective within the MIP gap tolerance.
+//!
+//! The run forces [`ras_core::AuditMode::On`], so even this release
+//! binary certificate-checks every solve: the process exits non-zero if
+//! any round — cold or warm-started — fails to certify clean.
 
 use ras_bench::{fmt, Experiment};
+use ras_core::{AuditMode, SolverParams};
 use ras_sim::continuous::{run_continuous, ContinuousConfig};
 use ras_topology::{RegionBuilder, RegionTemplate};
 
@@ -27,6 +32,10 @@ fn main() {
         rounds,
         churn_fraction: 0.02,
         cold_compare: true,
+        params: SolverParams {
+            audit: AuditMode::On,
+            ..SolverParams::default()
+        },
         ..ContinuousConfig::default()
     };
     let reports = run_continuous(&region, &config);
@@ -37,7 +46,7 @@ fn main() {
         "warm rounds >=2x faster than cold on the same input; statuses and objectives agree",
         &[
             "round", "churned", "warm_s", "cold_s", "speedup", "lp_iters", "moves", "reused",
-            "basis", "seeded", "pruned",
+            "basis", "seeded", "pruned", "audit",
         ],
     );
     for r in &reports {
@@ -70,6 +79,11 @@ fn main() {
             .to_string(),
             r.warm.incumbent_seeded.to_string(),
             r.warm.nodes_pruned_by_seed.to_string(),
+            (if r.audit_certified {
+                "certified".to_string()
+            } else {
+                format!("{} violations", r.audit_violations)
+            }),
         ]);
     }
 
@@ -107,5 +121,15 @@ fn main() {
         "warm basis accepted + incumbent seeded in {settled}/{} warm rounds",
         warm.len()
     ));
+    let certified = reports.iter().filter(|r| r.audit_certified).count();
+    let violations: usize = reports.iter().map(|r| r.audit_violations).sum();
+    exp.note(format!(
+        "audit: {certified}/{} rounds certified clean, {violations} violations",
+        reports.len()
+    ));
     exp.finish();
+    if certified != reports.len() || violations != 0 {
+        eprintln!("fig_continuous: audit certification failed");
+        std::process::exit(1);
+    }
 }

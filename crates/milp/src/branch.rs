@@ -11,6 +11,10 @@ use std::collections::BinaryHeap;
 use std::rc::Rc;
 use std::time::Instant;
 
+use crate::audit::{
+    audit_model, audit_standard_form, check_lp_certificate, check_mip_certificate, AuditConfig,
+    AuditReport, Severity,
+};
 use crate::branching::PseudoCosts;
 use crate::model::{Model, VarType};
 use crate::simplex::{solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
@@ -60,10 +64,12 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse on bound (min-heap); deeper first on ties (dive).
+        // `total_cmp` keeps the heap ordering a total order even if a
+        // NaN bound ever slips in (`partial_cmp(..).unwrap_or(Equal)`
+        // would silently scramble the best-bound search instead).
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
             .then(self.depth.cmp(&other.depth))
     }
 }
@@ -77,7 +83,32 @@ impl BranchAndBound {
     /// Solves the model.
     pub fn solve(&self, model: &Model) -> Result<Solution, SolveError> {
         let start = Instant::now();
+        // Static audit first: a reject-level defect (NaN coefficient,
+        // dangling variable, crossed bounds) would panic or silently
+        // corrupt the standard-form build below, so it must never get
+        // there. Flags are carried through into the final stats.
+        let audit_on = self.config.audit.enabled();
+        let audit_cfg = AuditConfig {
+            int_tol: self.config.int_tol,
+            ..AuditConfig::default()
+        };
+        let mut audit = AuditReport::default();
+        if audit_on {
+            audit.model_checked = true;
+            let issues = audit_model(model, &audit_cfg);
+            if issues.iter().any(|i| i.severity == Severity::Reject) {
+                return Err(SolveError::InvalidModel(issues));
+            }
+            audit.issues = issues;
+        }
         let sf = StandardForm::from_model(model);
+        if audit_on {
+            let issues = audit_standard_form(&sf, &audit_cfg);
+            if issues.iter().any(|i| i.severity == Severity::Reject) {
+                return Err(SolveError::InvalidModel(issues));
+            }
+            audit.issues.extend(issues);
+        }
         let setup_seconds = start.elapsed().as_secs_f64();
         let int_vars: Vec<usize> = model
             .vars()
@@ -156,6 +187,14 @@ impl BranchAndBound {
         } else {
             f64::NEG_INFINITY
         };
+        // Certify the proven-optimal root relaxation: primal residual,
+        // bounds, dual feasibility, and complementary slackness against
+        // the duals the simplex reported. Warm-started roots go through
+        // the same checks as cold ones — this is exactly where a stale
+        // remapped basis would first show up.
+        if audit_on && root_optimal {
+            check_lp_certificate(&sf, &root_lower, &root_upper, &root, &audit_cfg, &mut audit);
+        }
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         // True while the incumbent is still a supplied seed (not something
@@ -211,6 +250,10 @@ impl BranchAndBound {
                 stats.best_bound = obj;
                 stats.nodes = 1;
                 stats.solve_seconds = start.elapsed().as_secs_f64();
+                if audit_on {
+                    check_mip_certificate(model, &values, obj, &stats, &audit_cfg, &mut audit);
+                }
+                stats.audit = audit;
                 return Ok(Solution {
                     status: Status::Optimal,
                     objective: obj,
@@ -430,6 +473,10 @@ impl BranchAndBound {
                 } else {
                     Status::Feasible
                 };
+                if audit_on {
+                    check_mip_certificate(model, &values, obj, &stats, &audit_cfg, &mut audit);
+                }
+                stats.audit = audit;
                 Ok(Solution {
                     status,
                     objective: obj,

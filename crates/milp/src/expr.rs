@@ -71,6 +71,11 @@ impl LinExpr {
     }
 
     /// Merges duplicate variables and removes (near-)zero coefficients.
+    ///
+    /// Non-finite coefficients are kept: a NaN term must survive into
+    /// the model where the auditor can reject it, not vanish here and
+    /// mask the corruption that produced it (`NaN.abs() > eps` is false,
+    /// so a plain magnitude filter would silently drop it).
     pub fn compact(&mut self) {
         self.terms.sort_unstable_by_key(|(v, _)| *v);
         let mut out: Vec<(Var, f64)> = Vec::with_capacity(self.terms.len());
@@ -80,7 +85,7 @@ impl LinExpr {
                 _ => out.push((v, c)),
             }
         }
-        out.retain(|(_, c)| c.abs() > 1e-12);
+        out.retain(|(_, c)| c.abs() > 1e-12 || !c.is_finite());
         self.terms = out;
     }
 

@@ -20,6 +20,9 @@
 //!   periodic refactorization) and a pluggable pricing engine (Dantzig,
 //!   devex, and partial devex over a candidate list, with incrementally
 //!   maintained reduced costs);
+//! * [`audit`] — a static model auditor (run before every solve) and
+//!   solution certificate checkers (primal/dual feasibility, integrality,
+//!   incumbent-within-gap) producing a structured [`AuditReport`];
 //! * [`branch`] — best-bound branch-and-bound with pseudo-cost /
 //!   most-fractional branching, rounding/diving incumbent heuristics, gap
 //!   reporting and node/time limits (Figure 9 measures exactly this gap);
@@ -42,6 +45,7 @@
 //! assert_eq!(solution.objective.round(), -10.0);
 //! ```
 
+pub mod audit;
 pub mod branch;
 pub mod branching;
 pub mod expr;
@@ -55,6 +59,7 @@ pub mod solution;
 pub mod sparse;
 pub mod standard;
 
+pub use audit::{AuditCheck, AuditConfig, AuditIssue, AuditMode, AuditReport, Severity};
 pub use branch::BranchAndBound;
 pub use expr::{LinExpr, Var};
 pub use localsearch::LocalSearch;

@@ -120,8 +120,9 @@ impl LuFactors {
                 }
                 step_seen[t0] = epoch;
                 stack.push((t0, 0));
-                while let Some(&(t, cursor)) = stack.last() {
+                while let Some(top) = stack.last_mut() {
                     // Resume scanning L's column `t` where we left off.
+                    let (t, cursor) = *top;
                     let mut child: Option<usize> = None;
                     let mut new_cursor = cursor;
                     for (r, _) in l.column(t).skip(cursor) {
@@ -132,7 +133,7 @@ impl LuFactors {
                             break;
                         }
                     }
-                    stack.last_mut().expect("nonempty").1 = new_cursor;
+                    top.1 = new_cursor;
                     match child {
                         Some(t2) => {
                             step_seen[t2] = epoch;

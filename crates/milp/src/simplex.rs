@@ -1180,11 +1180,10 @@ impl<'a> Simplex<'a> {
                 let j = *j as usize;
                 self.d[j] * self.d[j] / self.devex[j]
             };
-            cands.select_nth_unstable_by(cap - 1, |a, b| {
-                merit(b)
-                    .partial_cmp(&merit(a))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // `total_cmp`: a NaN merit (0/0 from a zeroed devex weight)
+            // must not scramble the selection into an arbitrary slice —
+            // under the total order NaN sorts to one end deterministically.
+            cands.select_nth_unstable_by(cap - 1, |a, b| merit(b).total_cmp(&merit(a)));
             cands.truncate(cap);
         }
         self.candidates = cands;

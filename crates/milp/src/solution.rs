@@ -89,6 +89,9 @@ pub struct SolveStats {
     /// Nodes pruned against the seeded incumbent before any better
     /// solution was found — the direct payoff of warm incumbent seeding.
     pub nodes_pruned_by_seed: usize,
+    /// Outcome of the model auditor and solution certificate checkers
+    /// (see [`crate::audit`]); default-empty when auditing was off.
+    pub audit: crate::audit::AuditReport,
 }
 
 impl SolveStats {
@@ -133,6 +136,11 @@ pub struct SolveConfig {
     /// [`initial_incumbent`](Self::initial_incumbent) and the better valid
     /// one is installed.
     pub warm_start: Option<WarmStart>,
+    /// When to run the model auditor and solution certificate checkers
+    /// (see [`crate::audit`]). Defaults to [`crate::audit::AuditMode::Auto`]:
+    /// every solve is audited in debug builds, none in release unless a
+    /// caller opts in with [`crate::audit::AuditMode::On`].
+    pub audit: crate::audit::AuditMode,
 }
 
 impl Default for SolveConfig {
@@ -148,6 +156,7 @@ impl Default for SolveConfig {
             use_heuristics: true,
             initial_incumbent: None,
             warm_start: None,
+            audit: crate::audit::AuditMode::default(),
         }
     }
 }
@@ -209,6 +218,11 @@ pub enum SolveError {
     /// [`crate::simplex::LpStatus::TooLarge`]). This is a configuration
     /// problem, not a statement about feasibility.
     TooLarge,
+    /// The static model auditor found reject-level defects (NaN
+    /// coefficients, crossed bounds, dangling variable references, …) and
+    /// refused the solve. Carries every finding, reject- and flag-level,
+    /// so the caller can report them all at once (see [`crate::audit`]).
+    InvalidModel(Vec<crate::audit::AuditIssue>),
 }
 
 impl std::fmt::Display for SolveError {
@@ -221,6 +235,20 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::TooLarge => {
                 write!(f, "model exceeds the configured solver size cap")
+            }
+            SolveError::InvalidModel(issues) => {
+                let rejects = issues
+                    .iter()
+                    .filter(|i| i.severity == crate::audit::Severity::Reject)
+                    .count();
+                write!(f, "model failed the static audit: {rejects} defect(s)")?;
+                if let Some(first) = issues
+                    .iter()
+                    .find(|i| i.severity == crate::audit::Severity::Reject)
+                {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
             }
         }
     }

@@ -46,13 +46,14 @@ impl GreedyAllocator {
                     if held >= spec.capacity {
                         break;
                     }
-                    let record = broker.record(server.id).expect("registered server");
+                    // A server missing from the broker (stale snapshot)
+                    // is simply not available to the greedy pass.
+                    let Ok(record) = broker.record(server.id) else {
+                        continue;
+                    };
                     let free = record.current.is_none() && record.is_up();
                     let v = spec.rru.value(server.hardware);
-                    if free && v > 0.0 {
-                        broker
-                            .bind_current(server.id, Some(res))
-                            .expect("bind free server");
+                    if free && v > 0.0 && broker.bind_current(server.id, Some(res)).is_ok() {
                         held += v;
                         acquired += 1;
                     }
@@ -64,10 +65,14 @@ impl GreedyAllocator {
                     if held <= spec.capacity {
                         break;
                     }
-                    let record = broker.record(s).expect("registered server");
+                    let Ok(record) = broker.record(s) else {
+                        continue;
+                    };
                     let v = spec.rru.value(region.server(s).hardware);
-                    if record.running_containers == 0 && held - v >= spec.capacity {
-                        broker.bind_current(s, None).expect("release server");
+                    if record.running_containers == 0
+                        && held - v >= spec.capacity
+                        && broker.bind_current(s, None).is_ok()
+                    {
                         held -= v;
                         released += 1;
                     }

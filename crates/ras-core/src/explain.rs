@@ -97,11 +97,7 @@ pub fn explain(
             fleet_share: fleet_per_type[t.id.index()] as f64 / fleet_total as f64,
         })
         .collect();
-    hardware.sort_by(|a, b| {
-        b.rrus
-            .partial_cmp(&a.rrus)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    hardware.sort_by(|a, b| b.rrus.total_cmp(&a.rrus));
 
     let max_msb = per_msb.iter().cloned().fold(0.0, f64::max);
     let msbs_used = per_msb.iter().filter(|v| **v > 0.0).count();

@@ -40,9 +40,11 @@ pub fn greedy_counts(
         .filter(|ri| solver_visible(&specs[*ri]) && specs[*ri].capacity > 0.0)
         .collect();
     order.sort_by(|a, b| {
-        let ka = (specs[*a].rru.eligible_count(), -specs[*a].capacity);
-        let kb = (specs[*b].rru.eligible_count(), -specs[*b].capacity);
-        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        specs[*a]
+            .rru
+            .eligible_count()
+            .cmp(&specs[*b].rru.eligible_count())
+            .then_with(|| specs[*b].capacity.total_cmp(&specs[*a].capacity))
     });
 
     let n_dc = region.datacenters().len();
@@ -99,9 +101,10 @@ pub fn greedy_counts(
                 // (affinity lower bounds), least-loaded first within.
                 let mut msb_order: Vec<usize> = (0..n_msb).collect();
                 msb_order.sort_by(|a, b| {
-                    let ka = (-dc_share[msb_dc[*a]], per_msb[*a], global_load[*a]);
-                    let kb = (-dc_share[msb_dc[*b]], per_msb[*b], global_load[*b]);
-                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                    dc_share[msb_dc[*b]]
+                        .total_cmp(&dc_share[msb_dc[*a]])
+                        .then_with(|| per_msb[*a].total_cmp(&per_msb[*b]))
+                        .then_with(|| global_load[*a].total_cmp(&global_load[*b]))
                 });
                 for mi in msb_order {
                     if satisfied(total, &per_msb) {

@@ -46,6 +46,7 @@ pub mod stats;
 
 pub use error::CoreError;
 pub use params::SolverParams;
+pub use ras_milp::{AuditMode, AuditReport};
 pub use reservation::{DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy};
 pub use rru::RruTable;
 pub use session::{SolveSession, WarmReport};

@@ -1,5 +1,6 @@
 //! Solver parameters: the cost coefficients of Table 1.
 
+use ras_milp::AuditMode;
 use serde::{Deserialize, Serialize};
 
 /// Weights and limits of the RAS MIP (paper Table 1 and Section 4.6).
@@ -50,6 +51,11 @@ pub struct SolverParams {
     /// pins the minimal allocation without influencing any real
     /// trade-off (it is far below every other coefficient).
     pub assignment_cost: f64,
+    /// When the MIP auditor runs (static model audit before each solve,
+    /// certificate checks after): [`AuditMode::Auto`] audits in debug
+    /// builds only; production runs opt in with [`AuditMode::On`] to
+    /// certify every warm round against the same invariants as cold ones.
+    pub audit: AuditMode,
 }
 
 impl Default for SolverParams {
@@ -70,6 +76,7 @@ impl Default for SolverParams {
             mip_abs_gap: 0.9,
             stall_node_limit: 48,
             assignment_cost: 0.01,
+            audit: AuditMode::Auto,
         }
     }
 }

@@ -184,6 +184,7 @@ pub(crate) fn solve_prepared(
         stall_node_limit: params.stall_node_limit,
         initial_incumbent: Some(best_incumbent(ras, region, specs, classes, params)),
         warm_start: warm,
+        audit: params.audit,
         ..SolveConfig::default()
     };
     let mut solution = ras.model.solve_with(&config);
@@ -367,7 +368,7 @@ pub fn rack_overages(
         }
     }
     let mut ranked: Vec<(usize, f64)> = overage.into_iter().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked
 }
 

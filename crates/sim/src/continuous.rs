@@ -82,6 +82,13 @@ pub struct RoundReport {
     pub cold_objective: Option<f64>,
     /// Whether the cold solve finished with the same phase-1 status.
     pub cold_status_matches: Option<bool>,
+    /// Every phase this round solved was certificate-checked and came
+    /// back clean (requires the auditor: debug builds, or
+    /// [`ras_core::AuditMode::On`] in the round's params).
+    pub audit_certified: bool,
+    /// Total certificate violations across both phases — zero on every
+    /// trustworthy solve, warm or cold.
+    pub audit_violations: usize,
 }
 
 /// A deterministic xorshift generator (no external RNG dependency).
@@ -182,6 +189,12 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             (None, None, None)
         };
 
+        let phase_audits = std::iter::once(&output.phase1)
+            .chain(output.phase2.iter())
+            .map(|p| &p.mip_stats.audit);
+        let audit_certified = phase_audits.clone().all(|a| a.certified_clean());
+        let audit_violations = phase_audits.map(|a| a.violations.len()).sum();
+
         solver.apply(&output, &mut broker).expect("apply");
         for s in broker.pending_moves() {
             let target = broker.record(s).map(|r| r.target).unwrap_or(None);
@@ -200,6 +213,8 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             cold_solve_seconds,
             cold_objective,
             cold_status_matches,
+            audit_certified,
+            audit_violations,
         });
     }
     reports

@@ -7,6 +7,7 @@
 //! builds; CI runs it with `cargo test --release`. The zero-churn
 //! agreement assertions run in every profile.
 
+use ras_core::{AuditMode, SolverParams};
 use ras_sim::continuous::{run_continuous, ContinuousConfig};
 use ras_topology::{RegionBuilder, RegionTemplate};
 
@@ -50,6 +51,39 @@ fn warm_rounds_agree_with_cold_solves() {
     for r in &reports[1..] {
         assert!(r.warm.warm_basis_supplied, "round {} basis", r.round);
         assert!(r.warm.incumbent_seeded, "round {} incumbent", r.round);
+    }
+}
+
+/// With the auditor forced on ([`AuditMode::On`], i.e. even in release
+/// builds), every continuous round — the cold round 0 and every
+/// warm-started round after it — must come back certificate-checked with
+/// zero violations: primal feasibility, bounds, integrality and the
+/// best-bound claim hold for warm solves exactly as for cold ones.
+#[test]
+fn audited_rounds_certify_clean_warm_and_cold() {
+    let region = RegionBuilder::new(RegionTemplate::tiny(), 11).build();
+    let cfg = ContinuousConfig {
+        rounds: 5,
+        churn_fraction: 0.02,
+        params: SolverParams {
+            audit: AuditMode::On,
+            ..SolverParams::default()
+        },
+        ..ContinuousConfig::default()
+    };
+    let reports = run_continuous(&region, &cfg);
+    assert_eq!(reports.len(), 5);
+    for r in &reports {
+        assert!(
+            r.audit_certified,
+            "round {}: solve was not certificate-checked clean",
+            r.round
+        );
+        assert_eq!(
+            r.audit_violations, 0,
+            "round {}: audit reported violations",
+            r.round
+        );
     }
 }
 

@@ -141,7 +141,7 @@ mod tests {
         let (idx, _) = per_msb
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap();
         ras_topology::MsbId::from_index(idx)
     }

@@ -1,0 +1,293 @@
+//! A minimal Rust source "masker" for the lint pass.
+//!
+//! The lints in this crate are substring scans, which are only sound if
+//! comments, string/char literals and test code cannot produce false
+//! matches. Rather than parse Rust properly (no `syn` in the offline
+//! build), we blank those regions out: [`mask_source`] replaces the
+//! *contents* of comments and literals with spaces while preserving
+//! newlines (so byte offsets keep mapping to the right line numbers),
+//! and [`mask_test_mods`] additionally blanks every `#[cfg(test)] mod`
+//! block. Scanning the masked text then only ever sees real code.
+
+/// Replaces comment and string/char-literal contents with spaces.
+///
+/// Handles line comments, nested block comments, plain and raw (and
+/// byte/raw-byte) string literals, escapes inside strings, and the
+/// char-literal-versus-lifetime ambiguity (`'a'` is a literal, `'a` in
+/// `<'a>` is not). Newlines are preserved verbatim.
+pub fn mask_source(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = chars.clone();
+    let blank = |out: &mut [char], i: usize| {
+        if out[i] != '\n' {
+            out[i] = ' ';
+        }
+    };
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                out[i] = ' ';
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Block comments nest in Rust.
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && is_raw_string_head(&chars, i) {
+            // r"..."  r#"..."#  (possibly after a `b` prefix, which is
+            // just the previous identifier char and needs no handling).
+            i += 1;
+            let mut hashes = 0usize;
+            while chars.get(i) == Some(&'#') {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < chars.len() {
+                if chars[i] == '"' && closes_raw_string(&chars, i, hashes) {
+                    i += 1 + hashes;
+                    break;
+                }
+                blank(&mut out, i);
+                i += 1;
+            }
+        } else if c == '"' {
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    blank(&mut out, i);
+                    if i + 1 < chars.len() {
+                        blank(&mut out, i + 1);
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: '\n', '\'', '\u{…}'. The
+                // backslash pair is consumed as a unit so '\'' does not
+                // end at its own escaped quote.
+                blank(&mut out, i + 1);
+                if i + 2 < chars.len() {
+                    blank(&mut out, i + 2);
+                }
+                i += 3;
+                while i < chars.len() && chars[i] != '\'' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+                i += 1;
+            } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                // Plain char literal 'x'.
+                blank(&mut out, i + 1);
+                i += 3;
+            } else {
+                // A lifetime — leave it alone.
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// True when the `r` at `chars[i]` starts a raw-string literal rather
+/// than an identifier: followed by `#`s then `"`, and not itself the
+/// tail of an identifier (a preceding `b` byte-string prefix is fine).
+fn is_raw_string_head(chars: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return false;
+    }
+    match i.checked_sub(1).and_then(|p| chars.get(p)) {
+        None => true,
+        Some(&prev) if !is_ident_char(prev) => true,
+        Some(&'b') => i < 2 || !is_ident_char(chars[i - 2]),
+        Some(_) => false,
+    }
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Blanks every `#[cfg(test)] mod … { … }` block in already-masked
+/// source (the lints only police production code; test code may unwrap
+/// freely). Attributes between the cfg and the `mod` keyword are
+/// skipped; `#[cfg(test)]` on non-mod items is left untouched.
+pub fn mask_test_mods(masked: &str) -> String {
+    const CFG: &str = "#[cfg(test)]";
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = chars.clone();
+    let mut search_from = 0usize;
+    while let Some(rel) = find_chars(&chars, CFG, search_from) {
+        let start = rel;
+        let mut i = start + CFG.len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'#') && chars.get(i + 1) == Some(&'[') {
+                i = skip_delimited(&chars, i + 1, '[', ']');
+            } else {
+                break;
+            }
+        }
+        // Optional visibility, then the item keyword.
+        if lookahead_word(&chars, i) == Some("pub") {
+            i += 3;
+            while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'(') {
+                i = skip_delimited(&chars, i, '(', ')');
+                while chars.get(i).is_some_and(|c| c.is_whitespace()) {
+                    i += 1;
+                }
+            }
+        }
+        if lookahead_word(&chars, i) != Some("mod") {
+            search_from = start + CFG.len();
+            continue;
+        }
+        // Find the block body (an out-of-line `mod x;` has none).
+        let mut j = i;
+        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'{') {
+            search_from = start + CFG.len();
+            continue;
+        }
+        let end = skip_delimited(&chars, j, '{', '}');
+        for slot in out.iter_mut().take(end).skip(start) {
+            if *slot != '\n' {
+                *slot = ' ';
+            }
+        }
+        search_from = end;
+    }
+    out.into_iter().collect()
+}
+
+/// Index just past the delimiter balanced with the opener at `open`.
+fn skip_delimited(chars: &[char], open: usize, lhs: char, rhs: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        if chars[i] == lhs {
+            depth += 1;
+        } else if chars[i] == rhs {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+fn lookahead_word(chars: &[char], i: usize) -> Option<&'static str> {
+    for word in ["pub", "mod"] {
+        let w: Vec<char> = word.chars().collect();
+        if chars.get(i..i + w.len()) == Some(&w[..])
+            && !chars.get(i + w.len()).is_some_and(|&c| is_ident_char(c))
+        {
+            return Some(word);
+        }
+    }
+    None
+}
+
+fn find_chars(chars: &[char], needle: &str, from: usize) -> Option<usize> {
+    let n: Vec<char> = needle.chars().collect();
+    if chars.len() < n.len() {
+        return None;
+    }
+    (from..=chars.len() - n.len()).find(|&i| chars[i..i + n.len()] == n[..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = 1; // x.unwrap()\nlet b = \"y.unwrap()\";\n/* multi\nline */ let c;";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b ="));
+        assert!(m.contains("let c;"));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* a /* b */ still comment */ real.unwrap()";
+        let m = mask_source(src);
+        assert!(m.contains("real.unwrap()"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let r = r#\"x.unwrap() \"inner\" \"#; let c = '\\''; let q = 'u'; fn f<'a>() {}";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("inner"));
+        assert!(m.contains("fn f<'a>() {}"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_excluded() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.expect(\"z\"); }\n}\n";
+        let m = mask_test_mods(&mask_source(src));
+        assert!(m.contains("x.unwrap()"));
+        assert!(!m.contains("y.expect"));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn cfg_test_on_non_mod_items_is_kept() {
+        let src = "#[cfg(test)]\nfn helper() { a.unwrap(); }\n";
+        let m = mask_test_mods(&mask_source(src));
+        assert!(m.contains("a.unwrap()"));
+    }
+}

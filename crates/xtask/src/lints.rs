@@ -1,0 +1,271 @@
+//! The repo-specific lints.
+//!
+//! Each lint is a scan over masked source (see [`crate::lexer`]) — test
+//! modules, comments and literals can never match. Individual findings
+//! can be suppressed with a `// lint:allow(<lint-name>)` comment on the
+//! same line or the line directly above, for sites reviewed and deemed
+//! sound (say, an `expect` on an invariant the type system can't carry).
+
+use crate::lexer::{mask_source, mask_test_mods};
+
+/// Every lint name, in the order reports are printed.
+pub const LINT_NAMES: [&str; 3] = ["partial-cmp-unwrap", "solver-unwrap", "float-as-int"];
+
+/// Crates whose non-test sources must not panic on fallible paths
+/// (`solver-unwrap` scope): the solver stack proper.
+const SOLVER_SCOPES: [&str; 2] = ["crates/milp/src", "crates/ras-core/src"];
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which lint fired (one of [`LINT_NAMES`]).
+    pub lint: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// Scans one file and returns every unsuppressed finding.
+pub fn scan_file(repo_rel: &str, raw: &str) -> Vec<Finding> {
+    let masked = mask_test_mods(&mask_source(raw));
+    let chars: Vec<char> = masked.chars().collect();
+    let allows = collect_allows(raw);
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut findings = Vec::new();
+
+    let mut push = |lint: &'static str, pos: usize| {
+        let line = line_of(&chars, pos);
+        let suppressed = allows
+            .iter()
+            .any(|a| a.name == lint && (a.line == line || (a.standalone && a.line + 1 == line)));
+        if !suppressed {
+            findings.push(Finding {
+                lint,
+                file: repo_rel.to_string(),
+                line,
+                excerpt: raw_lines
+                    .get(line - 1)
+                    .map_or(String::new(), |l| l.trim().to_string()),
+            });
+        }
+    };
+
+    // partial-cmp-unwrap: `partial_cmp(…)` immediately unwrapped or
+    // defaulted. NaN-unsound in solver code — `f64::total_cmp` is total
+    // and costs the same. Applies to every crate.
+    let mut from = 0;
+    while let Some(i) = find(&chars, "partial_cmp", from) {
+        from = i + "partial_cmp".len();
+        if chars.get(from) != Some(&'(') {
+            continue;
+        }
+        let after = skip_balanced(&chars, from);
+        let mut j = after;
+        while chars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        if ["unwrap()", "unwrap_or(", "unwrap_or_else(", "expect("]
+            .iter()
+            .any(|m| starts_with(&chars, j, &format!(".{m}")))
+        {
+            push("partial-cmp-unwrap", i);
+        }
+    }
+
+    // solver-unwrap: bare `.unwrap()` / `.expect(` in the solver crates'
+    // production code. Fallible paths there must propagate `SolveError`
+    // / `CoreError`; remaining sites live in the ratchet until burned
+    // down or individually allowed.
+    if SOLVER_SCOPES.iter().any(|s| repo_rel.starts_with(s)) {
+        for pat in [".unwrap()", ".expect("] {
+            let mut from = 0;
+            while let Some(i) = find(&chars, pat, from) {
+                from = i + pat.len();
+                push("solver-unwrap", i);
+            }
+        }
+    }
+
+    // float-as-int: `.round() as usize` and friends. The cast saturates
+    // silently on NaN/overflow; conversions on data-dependent values
+    // must go through a checked helper that surfaces the bad input.
+    for method in ["round", "floor", "ceil", "trunc"] {
+        let pat = format!(".{method}() as ");
+        let mut from = 0;
+        while let Some(i) = find(&chars, &pat, from) {
+            from = i + pat.len();
+            let mut word = String::new();
+            let mut j = from;
+            while let Some(&c) = chars.get(j) {
+                if c.is_alphanumeric() {
+                    word.push(c);
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if is_int_type(&word) {
+                push("float-as-int", i);
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.lint.cmp(b.lint)));
+    findings
+}
+
+fn is_int_type(word: &str) -> bool {
+    matches!(
+        word,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+/// One `lint:allow(...)` annotation. A trailing comment covers its own
+/// line; a standalone comment line covers the line below it.
+struct Allow {
+    line: usize,
+    name: String,
+    standalone: bool,
+}
+
+/// Allows parsed from `lint:allow(...)` comments in the raw (unmasked)
+/// source; names may be comma-separated.
+fn collect_allows(raw: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(pos) = line.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            continue;
+        };
+        let standalone = line.trim_start().starts_with("//");
+        for name in rest[..end].split(',') {
+            allows.push(Allow {
+                line: idx + 1,
+                name: name.trim().to_string(),
+                standalone,
+            });
+        }
+    }
+    allows
+}
+
+fn line_of(chars: &[char], pos: usize) -> usize {
+    1 + chars[..pos].iter().filter(|&&c| c == '\n').count()
+}
+
+fn find(chars: &[char], needle: &str, from: usize) -> Option<usize> {
+    let n: Vec<char> = needle.chars().collect();
+    if chars.len() < n.len() {
+        return None;
+    }
+    (from..=chars.len() - n.len()).find(|&i| chars[i..i + n.len()] == n[..])
+}
+
+fn starts_with(chars: &[char], at: usize, needle: &str) -> bool {
+    let n: Vec<char> = needle.chars().collect();
+    chars.get(at..at + n.len()) == Some(&n[..])
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn skip_balanced(chars: &[char], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        if chars[i] == '(' {
+            depth += 1;
+        } else if chars[i] == ')' {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<(&'static str, usize)> {
+        scan_file(path, src)
+            .into_iter()
+            .map(|f| (f.lint, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_fires_everywhere() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n";
+        assert_eq!(
+            lints_of("crates/sim/src/x.rs", src),
+            vec![("partial-cmp-unwrap", 1)]
+        );
+        let fixed = "v.sort_by(|a, b| a.total_cmp(b));\n";
+        assert!(lints_of("crates/sim/src/x.rs", fixed).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_without_unwrap_is_fine() {
+        let src = "let o = a.partial_cmp(&b);\nmatch o { _ => {} }\n";
+        assert!(lints_of("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn solver_unwrap_scoped_to_solver_crates() {
+        let src = "let x = foo().unwrap();\nlet y = bar().expect(\"msg\");\n";
+        assert_eq!(
+            lints_of("crates/milp/src/x.rs", src),
+            vec![("solver-unwrap", 1), ("solver-unwrap", 2)]
+        );
+        assert!(lints_of("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire_solver_unwrap() {
+        let src = "let x = foo().unwrap_or(0);\nlet y = foo().unwrap_or_default();\n";
+        assert!(lints_of("crates/milp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_as_int_needs_an_int_target() {
+        let src = "let n = (x * f).round() as usize;\nlet g = y.floor() as f64;\n";
+        assert_eq!(
+            lints_of("crates/sim/src/x.rs", src),
+            vec![("float-as-int", 1)]
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src = "// lint:allow(solver-unwrap)\nlet x = foo().unwrap();\nlet y = bar().unwrap(); // lint:allow(solver-unwrap)\nlet z = baz().unwrap();\n";
+        assert_eq!(
+            lints_of("crates/milp/src/x.rs", src),
+            vec![("solver-unwrap", 4)]
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { foo().unwrap(); }\n}\n";
+        assert!(lints_of("crates/milp/src/x.rs", src).is_empty());
+    }
+}

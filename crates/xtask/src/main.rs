@@ -1,0 +1,249 @@
+//! `cargo xtask` — repo automation.
+//!
+//! The only subcommand today is `lint`: a custom static-analysis pass
+//! over `crates/*/src` enforcing solver-specific rules that clippy has
+//! no knowledge of (NaN-unsound comparator unwraps, panicking fallible
+//! paths inside the solver stack, unchecked float→int casts). Findings
+//! are counted per lint and compared against the committed ratchet file
+//! `lint-ratchet.toml`: any count *growing* fails the run (and CI);
+//! counts going down print a reminder to re-bless.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo xtask lint            # enforce the ratchet (CI gate)
+//! cargo xtask lint --list     # also print every current finding
+//! cargo xtask lint --bless    # rewrite lint-ratchet.toml with current counts
+//! ```
+
+mod lexer;
+mod lints;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lints::{Finding, LINT_NAMES};
+
+const RATCHET_FILE: &str = "lint-ratchet.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let bless = args.iter().any(|a| a == "--bless");
+            let list = args.iter().any(|a| a == "--list");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--bless" && *a != "--list") {
+                eprintln!("xtask lint: unknown flag `{bad}`");
+                return usage();
+            }
+            run_lint(bless, list)
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--bless] [--list]");
+    ExitCode::FAILURE
+}
+
+fn run_lint(bless: bool, list: bool) -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        eprintln!("xtask lint: cannot read {}", crates_dir.display());
+        return ExitCode::FAILURE;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files);
+        }
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        let Ok(raw) = std::fs::read_to_string(file) else {
+            eprintln!("xtask lint: cannot read {}", file.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        findings.extend(lints::scan_file(&rel, &raw));
+    }
+
+    let mut counts: BTreeMap<&'static str, usize> =
+        LINT_NAMES.iter().map(|&name| (name, 0)).collect();
+    for f in &findings {
+        *counts.entry(f.lint).or_insert(0) += 1;
+    }
+
+    if list {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.excerpt);
+        }
+        if !findings.is_empty() {
+            println!();
+        }
+    }
+
+    let ratchet_path = root.join(RATCHET_FILE);
+    if bless {
+        if let Err(e) = std::fs::write(&ratchet_path, render_ratchet(&counts)) {
+            eprintln!("xtask lint: cannot write {}: {e}", ratchet_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("blessed {} ({} files scanned):", RATCHET_FILE, files.len());
+        for (name, n) in &counts {
+            println!("  {name} = {n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&ratchet_path) {
+        Ok(text) => parse_ratchet(&text),
+        Err(_) => {
+            eprintln!(
+                "xtask lint: missing {RATCHET_FILE}; run `cargo xtask lint --bless` and commit it"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    let mut improved = false;
+    println!("xtask lint: {} files scanned", files.len());
+    for (&name, &now) in &counts {
+        let Some(&base) = baseline.get(name) else {
+            eprintln!(
+                "  {name}: {now} findings but no ratchet entry — run `cargo xtask lint --bless`"
+            );
+            failed = true;
+            continue;
+        };
+        match now.cmp(&base) {
+            std::cmp::Ordering::Greater => {
+                eprintln!("  {name}: {now} findings (ratchet {base}) — REGRESSION");
+                for f in findings.iter().filter(|f| f.lint == name) {
+                    eprintln!("    {}:{}: {}", f.file, f.line, f.excerpt);
+                }
+                failed = true;
+            }
+            std::cmp::Ordering::Less => {
+                println!("  {name}: {now} findings (ratchet {base}) — improved");
+                improved = true;
+            }
+            std::cmp::Ordering::Equal => {
+                println!("  {name}: {now} findings (at ratchet)");
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "xtask lint: FAILED — fix the new findings or, for a reviewed-and-sound site, \
+             suppress it with `// lint:allow(<lint>)`"
+        );
+        return ExitCode::FAILURE;
+    }
+    if improved {
+        println!("xtask lint: counts went down — run `cargo xtask lint --bless` and commit {RATCHET_FILE}");
+    }
+    println!("xtask lint: ok");
+    ExitCode::SUCCESS
+}
+
+/// Workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses the `[counts]` section of the ratchet file. The format is a
+/// deliberately tiny TOML subset — `name = integer` lines — so the
+/// zero-dependency constraint holds.
+fn parse_ratchet(text: &str) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    let mut in_counts = false;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_counts = line == "[counts]";
+            continue;
+        }
+        if !in_counts {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once('=') {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                counts.insert(name.trim().to_string(), n);
+            }
+        }
+    }
+    counts
+}
+
+fn render_ratchet(counts: &BTreeMap<&'static str, usize>) -> String {
+    let mut out = String::from(
+        "# Findings ratchet for `cargo xtask lint` (see crates/xtask).\n\
+         #\n\
+         # Counts may only go down. If your change removes a finding, run\n\
+         # `cargo xtask lint --bless` and commit the new counts; if it adds\n\
+         # one, fix it — or, for a reviewed-and-sound site, annotate it with\n\
+         # `// lint:allow(<lint-name>)`.\n\n[counts]\n",
+    );
+    for (name, n) in counts {
+        out.push_str(&format!("{name} = {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratchet_round_trips() {
+        let counts: BTreeMap<&'static str, usize> = [("float-as-int", 3), ("solver-unwrap", 1)]
+            .into_iter()
+            .collect();
+        let parsed = parse_ratchet(&render_ratchet(&counts));
+        assert_eq!(parsed.get("float-as-int"), Some(&3));
+        assert_eq!(parsed.get("solver-unwrap"), Some(&1));
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_other_sections() {
+        let text = "# header\n[other]\nx = 9\n[counts]\nfoo = 2  # trailing\nbad = nope\n";
+        let parsed = parse_ratchet(text);
+        assert_eq!(parsed.get("foo"), Some(&2));
+        assert_eq!(parsed.get("x"), None);
+        assert_eq!(parsed.get("bad"), None);
+    }
+}

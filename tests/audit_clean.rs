@@ -1,0 +1,72 @@
+//! Differential property: every MIP the real model builders produce —
+//! synthetic regions from the topology generators, reservation
+//! portfolios over them, both class granularities, with and without rack
+//! goals — must pass the static model audit with no findings at all, at
+//! both the [`Model`] level and the standard-form (CSC) level.
+//!
+//! This is the counterpart of `crates/milp/tests/audit_props.rs`: that
+//! suite proves the auditor *catches* corrupted inputs; this one proves
+//! the production builders never trip it, so an audit finding in the
+//! field always means real corruption, not a noisy checker.
+//!
+//! [`Model`]: ras::milp::Model
+
+use proptest::prelude::*;
+use ras::broker::{ResourceBroker, SimTime};
+use ras::core::classes::{build_classes, Granularity};
+use ras::core::model::build_model;
+use ras::core::rru::RruTable;
+use ras::core::{ReservationSpec, SolverParams};
+use ras::milp::audit::{audit_model, audit_standard_form};
+use ras::milp::standard::StandardForm;
+use ras::milp::AuditConfig;
+use ras::topology::{RegionBuilder, RegionTemplate};
+
+fn arb_world() -> impl Strategy<Value = (u64, Vec<f64>)> {
+    // Seed plus 1-4 reservation sizes, each 10..60 RRUs.
+    (0u64..1000, prop::collection::vec(10.0f64..60.0, 1..4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_models_audit_clean((seed, sizes) in arb_world()) {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), seed).build();
+        let mut broker = ResourceBroker::new(region.server_count());
+        let specs: Vec<ReservationSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                ReservationSpec::guaranteed(
+                    format!("svc{i}"),
+                    c.round(),
+                    RruTable::uniform(&region.catalog, 1.0),
+                )
+            })
+            .collect();
+        for s in &specs {
+            broker.register_reservation(&s.name);
+        }
+        let snapshot = broker.snapshot(SimTime::ZERO);
+        let params = SolverParams::default();
+        let cfg = AuditConfig::default();
+        for (granularity, rack_goals) in
+            [(Granularity::Msb, false), (Granularity::Rack, true)]
+        {
+            let classes = build_classes(&region, &snapshot, granularity, None);
+            let built = build_model(&region, &specs, &classes, &params, rack_goals, None);
+            let issues = audit_model(&built.model, &cfg);
+            prop_assert!(
+                issues.is_empty(),
+                "{granularity:?} model must audit clean, found: {issues:?}"
+            );
+            let sf = StandardForm::from_model(&built.model);
+            let sf_issues = audit_standard_form(&sf, &cfg);
+            prop_assert!(
+                sf_issues.is_empty(),
+                "{granularity:?} standard form must audit clean, found: {sf_issues:?}"
+            );
+        }
+    }
+}
