@@ -20,7 +20,7 @@ fn main() {
     // Histogram: fungibility × size decade.
     let mut grid = std::collections::BTreeMap::new();
     for s in &samples {
-        let decade = (s.units.log10().floor() as i32).clamp(0, 4);
+        let decade = ras_milp::cast::floor_i32(s.units.log10()).clamp(0, 4);
         *grid.entry((s.fungibility(), decade)).or_insert(0usize) += 1;
     }
     let mut exp = Experiment::new(

@@ -74,7 +74,9 @@ pub enum AuditCheck {
     NonFiniteBound,
     /// Empty bound interval `lo > up`.
     CrossedBounds,
-    /// NaN (reject) or infinite (flag) constraint right-hand side.
+    /// Non-finite constraint right-hand side: NaN and unsatisfiable
+    /// infinities (`≥ +∞`, `≤ −∞`, `= ±∞`) reject; vacuous infinities
+    /// (`≤ +∞`, `≥ −∞`) flag.
     NonFiniteRhs,
     /// A term references a variable the model does not own.
     DanglingVariable,
@@ -342,11 +344,26 @@ pub fn audit_model(model: &Model, cfg: &AuditConfig) -> Vec<AuditIssue> {
                 "rhs is NaN".to_string(),
             ));
         } else if c.rhs.is_infinite() {
-            issues.push(AuditIssue::flag(
-                AuditCheck::NonFiniteRhs,
-                &c.name,
-                format!("rhs {}", c.rhs),
-            ));
+            // A vacuous infinite rhs (`≤ +∞`, `≥ −∞`) is sloppy but
+            // solvable. An *unsatisfiable* one (`≥ +∞`, `≤ −∞`, `= ±∞`)
+            // must reject: no finite point satisfies it, yet the LP
+            // arithmetic propagates the infinity instead of detecting
+            // infeasibility and can report an "optimal" non-finite
+            // objective downstream.
+            let unsatisfiable = match c.sense {
+                crate::model::Sense::Le => c.rhs == f64::NEG_INFINITY,
+                crate::model::Sense::Ge => c.rhs == f64::INFINITY,
+                crate::model::Sense::Eq => true,
+            };
+            issues.push(if unsatisfiable {
+                AuditIssue::reject(
+                    AuditCheck::NonFiniteRhs,
+                    &c.name,
+                    format!("rhs {} is unsatisfiable for this sense", c.rhs),
+                )
+            } else {
+                AuditIssue::flag(AuditCheck::NonFiniteRhs, &c.name, format!("rhs {}", c.rhs))
+            });
         }
         audit_expr(&mut issues, &c.name, &c.expr, n, cfg);
         if c.expr.terms.is_empty() {
@@ -722,6 +739,26 @@ mod tests {
         assert!(issues.iter().any(
             |i| i.check == AuditCheck::FractionalIntegerBounds && i.severity == Severity::Flag
         ));
+    }
+
+    #[test]
+    fn unsatisfiable_infinite_rhs_is_rejected_vacuous_is_flagged() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("unsat", 1.0 * x, Sense::Ge, f64::INFINITY);
+        let issues = audit_model(&m, &cfg());
+        assert!(issues
+            .iter()
+            .any(|i| i.check == AuditCheck::NonFiniteRhs && i.severity == Severity::Reject));
+
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 1.0);
+        m.add_constraint("vacuous", 1.0 * x, Sense::Le, f64::INFINITY);
+        let issues = audit_model(&m, &cfg());
+        assert!(issues
+            .iter()
+            .any(|i| i.check == AuditCheck::NonFiniteRhs && i.severity == Severity::Flag));
+        assert!(issues.iter().all(|i| i.severity == Severity::Flag));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Checked float→integer conversions.
+//!
+//! A bare `as` cast from `f64` saturates silently: `NaN as usize` is 0,
+//! overflow clamps to the type's extreme. In solver code a NaN count is a
+//! bug worth surfacing, not a zero — these helpers make the intended
+//! rounding explicit, `debug_assert!` on pathological inputs so test
+//! builds catch them, and map them to a *documented* fallback in release
+//! builds. The repo's `float-as-int` lint (`cargo xtask lint`) points
+//! every raw rounding cast here.
+
+/// Rounds to the nearest integer and converts to `i64`.
+///
+/// NaN maps to 0; ±∞ and out-of-range values clamp to the `i64` range.
+/// Debug builds assert the input is finite and in range.
+pub fn rounded_i64(v: f64) -> i64 {
+    debug_assert!(!v.is_nan(), "rounded_i64 on NaN");
+    if v.is_nan() {
+        return 0;
+    }
+    let r = v.round();
+    debug_assert!(
+        r >= i64::MIN as f64 && r <= i64::MAX as f64,
+        "rounded_i64 out of range: {v}"
+    );
+    if r >= i64::MAX as f64 {
+        i64::MAX
+    } else if r <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        r as i64
+    }
+}
+
+/// Rounds to the nearest integer and converts to `usize`.
+///
+/// NaN and negative values map to 0; overflow clamps to `usize::MAX`.
+/// Debug builds assert the input is a finite non-negative in-range value.
+pub fn rounded_usize(v: f64) -> usize {
+    debug_assert!(!v.is_nan(), "rounded_usize on NaN");
+    debug_assert!(v >= -0.5, "rounded_usize on negative {v}");
+    to_usize(v.round())
+}
+
+/// Rounds up and converts to `usize`.
+///
+/// NaN and negative values map to 0; overflow clamps to `usize::MAX`.
+pub fn ceil_usize(v: f64) -> usize {
+    debug_assert!(!v.is_nan(), "ceil_usize on NaN");
+    debug_assert!(v >= 0.0 || v.is_infinite(), "ceil_usize on negative {v}");
+    to_usize(v.ceil())
+}
+
+/// Rounds down and converts to `i32`, clamping to the `i32` range.
+///
+/// NaN maps to 0. Debug builds assert the input is not NaN.
+pub fn floor_i32(v: f64) -> i32 {
+    debug_assert!(!v.is_nan(), "floor_i32 on NaN");
+    if v.is_nan() {
+        return 0;
+    }
+    let r = v.floor();
+    if r >= i32::MAX as f64 {
+        i32::MAX
+    } else if r <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+/// Shared clamp of an already-rounded value into `usize`.
+fn to_usize(r: f64) -> usize {
+    if r.is_nan() || r <= 0.0 {
+        0
+    } else if r >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        r as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounded_i64_rounds_to_nearest() {
+        assert_eq!(rounded_i64(2.4), 2);
+        assert_eq!(rounded_i64(2.5), 3);
+        assert_eq!(rounded_i64(-2.5), -3);
+        assert_eq!(rounded_i64(0.0), 0);
+    }
+
+    #[test]
+    fn rounded_usize_clamps_negatives_to_zero() {
+        assert_eq!(rounded_usize(7.49), 7);
+        assert_eq!(rounded_usize(7.5), 8);
+        assert_eq!(rounded_usize(-0.4), 0);
+    }
+
+    #[test]
+    fn ceil_usize_rounds_up() {
+        assert_eq!(ceil_usize(0.0), 0);
+        assert_eq!(ceil_usize(0.01), 1);
+        assert_eq!(ceil_usize(3.0), 3);
+        assert_eq!(ceil_usize(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn floor_i32_clamps_extremes() {
+        assert_eq!(floor_i32(3.9), 3);
+        assert_eq!(floor_i32(-3.1), -4);
+        assert_eq!(floor_i32(1e300), i32::MAX);
+        assert_eq!(floor_i32(-1e300), i32::MIN);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod audit;
 pub mod branch;
 pub mod branching;
+pub mod cast;
 pub mod expr;
 pub mod localsearch;
 pub mod lpfile;

@@ -64,6 +64,11 @@ pub struct Model {
     vars: Vec<VarInfo>,
     constraints: Vec<Constraint>,
     objective: LinExpr,
+    /// Set when [`Model::add_var`] ran out of `u32` variable indices. A
+    /// poisoned model refuses to solve with [`SolveError::TooLarge`]
+    /// instead of panicking at construction time, so region-scale callers
+    /// get a structured size refusal they already know how to handle.
+    var_overflow: bool,
 }
 
 impl Model {
@@ -80,7 +85,13 @@ impl Model {
             VarType::Binary => (lower.max(0.0), upper.min(1.0)),
             _ => (lower, upper),
         };
-        let var = Var(u32::try_from(self.vars.len()).expect("variable count exceeds u32"));
+        let var = Var(u32::try_from(self.vars.len()).unwrap_or_else(|_| {
+            // Poison the model instead of panicking: the returned handle
+            // aliases column 0, but every solve now refuses with
+            // `SolveError::TooLarge` before that handle can matter.
+            self.var_overflow = true;
+            0
+        }));
         self.vars.push(VarInfo {
             name: name.into(),
             ty,
@@ -306,6 +317,11 @@ impl Model {
     /// Solves the model with the branch-and-bound backend and an explicit
     /// configuration.
     pub fn solve_with(&self, config: &SolveConfig) -> Result<Solution, SolveError> {
+        if self.var_overflow {
+            // Variable indices overflowed u32 at build time; the model's
+            // handles are unreliable, so refuse as a size problem.
+            return Err(SolveError::TooLarge);
+        }
         BranchAndBound::new(config.clone()).solve(self)
     }
 }

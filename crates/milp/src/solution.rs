@@ -194,9 +194,10 @@ impl Solution {
         self.values[var.index()]
     }
 
-    /// Value of one variable rounded to the nearest integer.
+    /// Value of one variable rounded to the nearest integer (checked:
+    /// a NaN value maps to 0 instead of saturating silently).
     pub fn int_value(&self, var: crate::expr::Var) -> i64 {
-        self.values[var.index()].round() as i64
+        crate::cast::rounded_i64(self.values[var.index()])
     }
 
     /// True when the solve produced a usable assignment.

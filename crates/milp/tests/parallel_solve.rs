@@ -1,0 +1,103 @@
+//! Reentrancy pins for the sharded region solve: `Model::solve_with`
+//! takes `&self` and must be callable from many threads at once, with
+//! results identical to serial solves. The POP-style sharded session in
+//! `ras-core` relies on exactly this.
+
+use ras_milp::{LinExpr, Model, Sense, SolveConfig, VarType};
+
+/// Compile-time pin: everything a worker thread needs crosses threads.
+#[test]
+fn solver_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+    assert_send_sync::<SolveConfig>();
+    assert_send_sync::<ras_milp::Solution>();
+    assert_send_sync::<ras_milp::SolveError>();
+}
+
+/// A small covering-style MIP, parameterized by seed so each instance is
+/// distinct but deterministic.
+fn instance(seed: u64) -> Model {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut m = Model::new();
+    let n = 8;
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, 10.0))
+        .collect();
+    let mut obj = LinExpr::zero();
+    for (i, v) in vars.iter().enumerate() {
+        let c = 1.0 + (next() % 9) as f64;
+        obj += LinExpr::term(*v, c);
+        // Pairwise lower bounds force non-trivial branching.
+        let w = vars[(i + 1) % n];
+        let rhs = 3.0 + (next() % 7) as f64;
+        m.add_constraint(format!("pair{i}"), 1.0 * *v + 1.0 * w, Sense::Ge, rhs);
+    }
+    m.add_constraint(
+        "total",
+        LinExpr::sum(vars.iter().map(|v| (*v, 1.0))),
+        Sense::Ge,
+        12.0,
+    );
+    m.set_objective(obj);
+    m
+}
+
+/// Solving the same instances concurrently from worker threads must
+/// reproduce the serial statuses and objectives exactly — no hidden
+/// global state in presolve, standardization, simplex, or the search.
+#[test]
+fn concurrent_solves_match_serial_solves() {
+    let models: Vec<Model> = (0..6).map(|i| instance(0xD5 + i as u64 * 97)).collect();
+    let config = SolveConfig::default();
+
+    let serial: Vec<_> = models
+        .iter()
+        .map(|m| m.solve_with(&config).expect("serial solve"))
+        .collect();
+
+    let parallel: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = models
+            .iter()
+            .map(|m| scope.spawn(|| m.solve_with(&config).expect("parallel solve")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.status, p.status, "instance {i} status");
+        assert!(
+            (s.objective - p.objective).abs() < 1e-9,
+            "instance {i}: serial {} vs parallel {}",
+            s.objective,
+            p.objective
+        );
+    }
+}
+
+/// One shared model solved by many threads at once (the sharded session
+/// never does this, but it proves `solve_with(&self)` is truly read-only).
+#[test]
+fn one_model_many_threads() {
+    let model = instance(42);
+    let config = SolveConfig::default();
+    let reference = model.solve_with(&config).expect("reference");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let s = model.solve_with(&config).expect("shared solve");
+                assert_eq!(s.status, reference.status);
+                assert!((s.objective - reference.objective).abs() < 1e-9);
+            });
+        }
+    });
+}

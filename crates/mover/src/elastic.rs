@@ -94,7 +94,7 @@ impl ElasticManager {
             .map(|(s, _)| s)
             .take(needed)
             .collect();
-        let cut = ((loaned.len() as f64) * self.immediate_fraction).ceil() as usize;
+        let cut = ras_core::cast::ceil_usize(loaned.len() as f64 * self.immediate_fraction);
         let mut immediate = Vec::new();
         let mut delayed = Vec::new();
         for (i, s) in loaned.into_iter().enumerate() {

@@ -32,6 +32,16 @@ pub enum CoreError {
     Solver(String),
     /// A broker write failed.
     Broker(String),
+    /// A continuous round failed mid-solve and the session discarded its
+    /// warm state (cached model skeleton, LP basis, seed targets, round
+    /// numbering). The session itself remains usable: the next
+    /// `solve_round` runs cold, exactly like a fresh session's round 0.
+    SessionInvalidated {
+        /// 0-based index of the round that failed.
+        round: usize,
+        /// The underlying failure.
+        cause: Box<CoreError>,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -53,6 +63,11 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::Solver(msg) => write!(f, "solver failure: {msg}"),
             CoreError::Broker(msg) => write!(f, "broker failure: {msg}"),
+            CoreError::SessionInvalidated { round, cause } => write!(
+                f,
+                "continuous round {round} failed ({cause}); warm state dropped — \
+                 the next round solves cold"
+            ),
         }
     }
 }

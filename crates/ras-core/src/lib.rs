@@ -20,6 +20,8 @@
 //! * [`assign`] — concretization of class counts into per-server targets;
 //! * [`phases`] — the two-phase solve orchestration;
 //! * [`session`] — the continuous warm-started solve session;
+//! * [`shard`] — POP-style sharded region solves (k warm sessions in
+//!   parallel plus a merge/reconcile pass);
 //! * [`solver`] — the Async Solver facade writing targets to the broker;
 //! * [`baseline`] — Twine's previous greedy assignment (evaluation baseline);
 //! * [`buffers`] — failure-buffer sizing and accounting;
@@ -40,14 +42,20 @@ pub mod phases;
 pub mod reservation;
 pub mod rru;
 pub mod session;
+pub mod shard;
 pub mod solver;
 pub mod stacking;
 pub mod stats;
 
 pub use error::CoreError;
 pub use params::SolverParams;
+pub use ras_milp::cast;
 pub use ras_milp::{AuditMode, AuditReport};
 pub use reservation::{DcAffinity, ReservationKind, ReservationSpec, SpreadPolicy};
 pub use rru::RruTable;
 pub use session::{SolveSession, WarmReport};
+pub use shard::{
+    evaluate_targets, sharded_tolerance, PlanScore, ReconcileReport, ShardPlan, ShardReport,
+    ShardedReport, ShardedSession,
+};
 pub use solver::{AsyncSolver, SolveOutput};

@@ -55,7 +55,9 @@ pub fn solve_two_phase(
 /// phase-1 assignment, re-solve the worst offenders at rack granularity
 /// over a restricted universe, and merge. Phase 2 is always a cold solve
 /// — its universe and spec visibility change every round, so there is no
-/// temporal structure to exploit.
+/// temporal structure to exploit. `scope`, when present, caps the phase-2
+/// universe (a sharded session never lets one shard's refinement touch
+/// another shard's servers).
 pub(crate) fn refine_with_phase2(
     region: &Region,
     specs: &[ReservationSpec],
@@ -63,11 +65,13 @@ pub(crate) fn refine_with_phase2(
     params: &SolverParams,
     targets1: Vec<Option<ReservationId>>,
     phase1: PhaseStats,
+    scope: Option<&HashSet<ServerId>>,
 ) -> TwoPhaseOutcome {
     // Rank reservations by rack overage under the phase-1 assignment.
     let overages = rack_overages(region, specs, &targets1, params);
     let visible = specs.iter().filter(|s| solver_visible(s)).count();
-    let budget = ((visible as f64 * params.phase2_reservation_fraction).ceil() as usize).max(1);
+    let budget =
+        ras_milp::cast::ceil_usize(visible as f64 * params.phase2_reservation_fraction).max(1);
     let mut selected: Vec<usize> = overages
         .iter()
         .filter(|(_, o)| *o > 1e-9)
@@ -82,9 +86,19 @@ pub(crate) fn refine_with_phase2(
         };
     }
 
+    // The universe phase 2 may touch: selected reservations' servers plus
+    // the free pool, capped by the caller's scope (shard membership).
+    let scoped_universe = |selected: &[usize]| {
+        let mut u = phase2_universe(&targets1, selected);
+        if let Some(allowed) = scope {
+            u.retain(|s| allowed.contains(s));
+        }
+        u
+    };
+
     // Respect the assignment-variable budget by shrinking the selection.
     loop {
-        let universe = phase2_universe(&targets1, &selected);
+        let universe = scoped_universe(&selected);
         let class_estimate = estimate_rack_classes(region, snapshot, &universe);
         if class_estimate * selected.len() <= params.max_assignment_vars || selected.len() == 1 {
             break;
@@ -105,7 +119,7 @@ pub(crate) fn refine_with_phase2(
             spec.kind = ReservationKind::Elastic; // Invisible to the model.
         }
     }
-    let universe = phase2_universe(&targets1, &selected);
+    let universe = scoped_universe(&selected);
     match run_phase(
         region,
         &specs2,

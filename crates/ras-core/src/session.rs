@@ -44,15 +44,16 @@
 //! Phase 2 always runs cold: its restricted universe and spec visibility
 //! change every round, so there is no temporal structure to exploit.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use ras_broker::{BrokerSnapshot, ReservationId};
 use ras_milp::{Basis, WarmStart};
-use ras_topology::Region;
+use ras_topology::{Region, ServerId};
 use serde::{Deserialize, Serialize};
 
 use crate::assign::concretize;
-use crate::classes::{build_classes, EquivClass, Granularity};
+use crate::classes::{build_classes, EquivClass};
 use crate::error::CoreError;
 use crate::model::{build_model, current_counts, movement_constant, RasModel};
 use crate::params::SolverParams;
@@ -147,6 +148,15 @@ impl SolveSession {
         self.cache = None;
     }
 
+    /// Drops all cached state *and* restarts round numbering at 0, as if
+    /// the session were freshly created. This is the failed-round
+    /// recovery contract: after a [`CoreError::SessionInvalidated`], the
+    /// next round is indistinguishable from a new session's round 0.
+    pub(crate) fn invalidate(&mut self) {
+        self.cache = None;
+        self.rounds = 0;
+    }
+
     /// Runs one continuous round: diff against the cached state, reuse or
     /// rebuild the model, warm-start the MIP, refine with phase 2, and
     /// re-arm the cache for the next round.
@@ -157,6 +167,59 @@ impl SolveSession {
         snapshot: &BrokerSnapshot,
         params: &SolverParams,
     ) -> Result<(TwoPhaseOutcome, WarmReport), CoreError> {
+        self.solve_round_scoped(region, specs, snapshot, params, None)
+    }
+
+    /// Like [`solve_round`](Self::solve_round), but restricted to a server
+    /// universe: classes, the phase-2 refinement, and the returned targets
+    /// only cover `universe` members (every other slot stays `None`).
+    /// The sharded session ([`crate::shard::ShardedSession`]) runs one
+    /// scoped session per shard; `None` solves the whole region.
+    ///
+    /// # Failure recovery
+    ///
+    /// On any error the session *explicitly* resets its warm state — the
+    /// cached skeleton, basis, and seed targets are dropped and round
+    /// numbering restarts at 0 — and, when warm state actually existed,
+    /// the error is wrapped in [`CoreError::SessionInvalidated`] so
+    /// callers know the next round runs cold. A failure on a fresh
+    /// session (nothing warm to lose) surfaces the raw error unchanged.
+    pub fn solve_round_scoped(
+        &mut self,
+        region: &Region,
+        specs: &[ReservationSpec],
+        snapshot: &BrokerSnapshot,
+        params: &SolverParams,
+        universe: Option<&HashSet<ServerId>>,
+    ) -> Result<(TwoPhaseOutcome, WarmReport), CoreError> {
+        let warm_at_entry = self.cache.is_some() || self.rounds > 0;
+        match self.run_round(region, specs, snapshot, params, universe) {
+            Ok(out) => Ok(out),
+            Err(cause) => {
+                let round = self.rounds;
+                self.invalidate();
+                if warm_at_entry {
+                    Err(CoreError::SessionInvalidated {
+                        round,
+                        cause: Box::new(cause),
+                    })
+                } else {
+                    Err(cause)
+                }
+            }
+        }
+    }
+
+    /// The round body. Must not re-arm any warm state on the error path —
+    /// [`solve_round_scoped`](Self::solve_round_scoped) owns recovery.
+    fn run_round(
+        &mut self,
+        region: &Region,
+        specs: &[ReservationSpec],
+        snapshot: &BrokerSnapshot,
+        params: &SolverParams,
+        universe: Option<&HashSet<ServerId>>,
+    ) -> Result<(TwoPhaseOutcome, WarmReport), CoreError> {
         let phase_start = Instant::now();
         let mut report = WarmReport {
             round: self.rounds,
@@ -164,7 +227,10 @@ impl SolveSession {
         };
 
         let build_start = Instant::now();
-        let classes = build_classes(region, snapshot, Granularity::Msb, None);
+        let filter = universe.map(|u| move |s: ServerId| u.contains(&s));
+        let filter_dyn: Option<&dyn Fn(ServerId) -> bool> =
+            filter.as_ref().map(|f| f as &dyn Fn(ServerId) -> bool);
+        let classes = build_classes(region, snapshot, params.phase1_granularity, filter_dyn);
 
         // On any error below the cache stays dropped: a failed round
         // invalidates the session and the next round starts cold.
@@ -279,7 +345,7 @@ impl SolveSession {
                 phase2: None,
             }
         } else {
-            refine_with_phase2(region, specs, snapshot, params, targets1, phase1)
+            refine_with_phase2(region, specs, snapshot, params, targets1, phase1, universe)
         };
 
         self.cache = Some(RoundCache {

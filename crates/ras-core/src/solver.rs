@@ -5,11 +5,11 @@
 //! broker. Runs off the critical path: the Online Mover materializes the
 //! targets asynchronously, and container placement never waits on it.
 //!
-//! The solver owns a [`SolveSession`], so consecutive [`AsyncSolver::solve`]
-//! calls on the same instance are *continuous*: each round warm-starts
-//! from the previous one (cached model skeleton, root-LP basis, seeded
-//! incumbent). Drop or [`AsyncSolver::reset`] the solver to force a cold
-//! round.
+//! The solver owns a [`ShardedSession`], so consecutive
+//! [`AsyncSolver::solve`] calls on the same instance are *continuous*:
+//! each round warm-starts from the previous one (cached model skeleton,
+//! root-LP basis, seeded incumbent — per shard when `params.shards > 1`).
+//! Drop or [`AsyncSolver::reset`] the solver to force a cold round.
 
 use ras_broker::{BrokerSnapshot, ReservationId, ResourceBroker};
 use ras_topology::Region;
@@ -20,7 +20,8 @@ use crate::model::solver_visible;
 use crate::params::SolverParams;
 use crate::phases::TwoPhaseOutcome;
 use crate::reservation::ReservationSpec;
-use crate::session::{SolveSession, WarmReport};
+use crate::session::WarmReport;
+use crate::shard::{ShardedReport, ShardedSession};
 use crate::stats::PhaseStats;
 
 /// Output of one solve: targets plus full statistics.
@@ -34,8 +35,14 @@ pub struct SolveOutput {
     pub phase2: Option<PhaseStats>,
     /// Moves this solve plans relative to current bindings.
     pub moves: MoveStats,
-    /// How the continuous session warm-started this round.
+    /// How the continuous session warm-started this round (aggregated
+    /// across shards when the round was sharded).
     pub warm: WarmReport,
+    /// Per-shard reports when the round ran sharded (`params.shards > 1`);
+    /// `None` for a monolithic round. Audit certificates of a sharded
+    /// round live here — the aggregate [`Self::phase1`] carries a default
+    /// (uncertified) audit, use [`Self::audit_phases`] instead.
+    pub sharded: Option<ShardedReport>,
 }
 
 impl SolveOutput {
@@ -75,6 +82,25 @@ impl SolveOutput {
     pub fn lp_iterations(&self) -> usize {
         self.phase1_lp_iterations() + self.phase2_lp_iterations()
     }
+
+    /// The real, auditable per-phase solver statistics of this round: the
+    /// monolithic phase 1 (+ phase 2) for a monolithic round, every
+    /// shard's phase 1 (+ phase 2) for a sharded one. A sharded round's
+    /// top-level [`Self::phase1`] is synthesized from these and carries no
+    /// audit certificate of its own, so certification checks must walk
+    /// this list.
+    pub fn audit_phases(&self) -> Vec<&PhaseStats> {
+        match &self.sharded {
+            Some(report) => report
+                .shards
+                .iter()
+                .flat_map(|s| std::iter::once(&s.phase1).chain(s.phase2.as_ref()))
+                .collect(),
+            None => std::iter::once(&self.phase1)
+                .chain(self.phase2.as_ref())
+                .collect(),
+        }
+    }
 }
 
 /// The Async Solver.
@@ -82,8 +108,8 @@ impl SolveOutput {
 pub struct AsyncSolver {
     /// Cost coefficients and limits.
     pub params: SolverParams,
-    /// Warm-start state threaded between rounds.
-    session: SolveSession,
+    /// Warm-start state threaded between rounds (one session per shard).
+    session: ShardedSession,
 }
 
 impl AsyncSolver {
@@ -91,7 +117,7 @@ impl AsyncSolver {
     pub fn new(params: SolverParams) -> Self {
         Self {
             params,
-            session: SolveSession::new(),
+            session: ShardedSession::new(),
         }
     }
 
@@ -156,17 +182,24 @@ impl AsyncSolver {
                 phase1,
                 phase2,
             },
-            warm,
+            report,
         ) = self
             .session
             .solve_round(region, specs, snapshot, &self.params)?;
         let moves = count_moves(snapshot, &targets);
+        let warm = report.warm.clone();
+        let sharded = if report.shards.len() > 1 {
+            Some(report)
+        } else {
+            None
+        };
         Ok(SolveOutput {
             targets,
             phase1,
             phase2,
             moves,
             warm,
+            sharded,
         })
     }
 
@@ -292,6 +325,7 @@ mod tests {
             phase2: None,
             moves: MoveStats::default(),
             warm: WarmReport::default(),
+            sharded: None,
         };
         assert!(solver.apply(&output, &mut small).is_err());
     }

@@ -1,0 +1,202 @@
+//! Failed-round recovery and sharded-vs-monolithic differential tests.
+//!
+//! Recovery contract: a continuous round that fails mid-solve must leave
+//! the session *usable* — warm state and round numbering dropped, the
+//! error telling the caller the next round runs cold — and that next
+//! round must solve and certify exactly like a fresh session's round 0.
+//!
+//! Differential contract: a POP-style sharded solve of the same input
+//! must land within [`ras_core::sharded_tolerance`] of the monolithic
+//! objective, with both plans valued by the one regional evaluator.
+
+use ras_broker::{ResourceBroker, SimTime};
+use ras_core::reservation::ReservationSpec;
+use ras_core::rru::RruTable;
+use ras_core::session::SolveSession;
+use ras_core::{
+    evaluate_targets, sharded_tolerance, AuditMode, CoreError, ShardedSession, SolverParams,
+};
+use ras_topology::{Region, RegionBuilder, RegionTemplate};
+
+fn region() -> Region {
+    RegionBuilder::new(RegionTemplate::tiny(), 42).build()
+}
+
+fn portfolio(region: &Region) -> Vec<ReservationSpec> {
+    let rru = RruTable::uniform(&region.catalog, 1.0);
+    vec![
+        ReservationSpec::guaranteed("web", 80.0, rru.clone()),
+        ReservationSpec::guaranteed("feed", 40.0, rru),
+    ]
+}
+
+fn audited_params() -> SolverParams {
+    SolverParams {
+        audit: AuditMode::On,
+        ..SolverParams::default()
+    }
+}
+
+/// A spec the static model audit must reject (non-finite capacity RHS).
+fn poisoned(mut specs: Vec<ReservationSpec>) -> Vec<ReservationSpec> {
+    specs[0].capacity = f64::INFINITY;
+    specs
+}
+
+#[test]
+fn failed_warm_round_invalidates_session_then_recovers_cold() {
+    let region = region();
+    let specs = portfolio(&region);
+    let mut broker = ResourceBroker::new(region.server_count());
+    broker.register_reservation("web");
+    broker.register_reservation("feed");
+    let snap = broker.snapshot(SimTime::ZERO);
+    let params = audited_params();
+
+    let mut session = SolveSession::new();
+    let (_, warm0) = session
+        .solve_round(&region, &specs, &snap, &params)
+        .expect("round 0 solves");
+    assert_eq!(warm0.round, 0);
+    assert!(session.is_warm(), "round 0 must leave warm state behind");
+
+    // Round 1 fails mid-solve: the audited model rejects the poisoned
+    // spec. The session must report the invalidation explicitly.
+    let err = session
+        .solve_round(&region, &poisoned(specs.clone()), &snap, &params)
+        .expect_err("poisoned round must fail");
+    match &err {
+        CoreError::SessionInvalidated { round, cause } => {
+            assert_eq!(*round, 1, "the failing round is round 1");
+            assert!(
+                matches!(**cause, CoreError::Solver(_)),
+                "cause must surface the solver failure, got {cause:?}"
+            );
+        }
+        other => panic!("expected SessionInvalidated, got {other:?}"),
+    }
+    assert!(!session.is_warm(), "warm state must be dropped");
+    assert_eq!(session.rounds(), 0, "round numbering must restart");
+
+    // The session remains usable: the next round runs cold — round number
+    // 0, no model reuse — and still certifies clean under the auditor.
+    let (outcome, warm) = session
+        .solve_round(&region, &specs, &snap, &params)
+        .expect("recovery round solves");
+    assert_eq!(warm.round, 0, "recovery round is a fresh round 0");
+    assert!(!warm.model_reused && !warm.warm_basis_supplied && !warm.seed_supplied);
+    assert!(
+        outcome.phase1.mip_stats.audit.certified_clean(),
+        "recovery round must certify clean"
+    );
+    assert!(session.is_warm(), "and it re-arms the warm machinery");
+}
+
+#[test]
+fn failed_cold_round_returns_the_raw_error() {
+    let region = region();
+    let mut broker = ResourceBroker::new(region.server_count());
+    broker.register_reservation("web");
+    broker.register_reservation("feed");
+    let snap = broker.snapshot(SimTime::ZERO);
+
+    // A fresh session has no warm state to lose: the error passes through
+    // unwrapped, exactly like the one-shot `solve_two_phase` path.
+    let mut session = SolveSession::new();
+    let err = session
+        .solve_round(
+            &region,
+            &poisoned(portfolio(&region)),
+            &snap,
+            &audited_params(),
+        )
+        .expect_err("poisoned cold round must fail");
+    assert!(
+        !matches!(err, CoreError::SessionInvalidated { .. }),
+        "cold failure must not claim an invalidated session: {err:?}"
+    );
+}
+
+#[test]
+fn failed_sharded_round_invalidates_all_shards_then_recovers() {
+    let region = region();
+    let specs = portfolio(&region);
+    let mut broker = ResourceBroker::new(region.server_count());
+    broker.register_reservation("web");
+    broker.register_reservation("feed");
+    let snap = broker.snapshot(SimTime::ZERO);
+    let params = SolverParams {
+        shards: 3,
+        ..audited_params()
+    };
+
+    let mut session = ShardedSession::new();
+    session
+        .solve_round(&region, &specs, &snap, &params)
+        .expect("sharded round 0 solves");
+    assert!(session.is_warm());
+
+    let err = session
+        .solve_round(&region, &poisoned(specs.clone()), &snap, &params)
+        .expect_err("poisoned sharded round must fail");
+    assert!(
+        matches!(err, CoreError::SessionInvalidated { round: 1, .. }),
+        "one failing shard invalidates the whole sharded session: {err:?}"
+    );
+    assert!(!session.is_warm(), "every shard's warm state is dropped");
+    assert_eq!(session.rounds(), 0);
+
+    let (_, report) = session
+        .solve_round(&region, &specs, &snap, &params)
+        .expect("sharded recovery round solves");
+    assert_eq!(report.warm.round, 0, "recovery is a fresh round 0");
+    assert!(!report.warm.model_reused);
+    for shard in &report.shards {
+        assert!(
+            shard.phase1.mip_stats.audit.certified_clean(),
+            "shard {} must certify clean after recovery",
+            shard.shard
+        );
+    }
+}
+
+#[test]
+fn sharded_solve_matches_monolithic_within_documented_tolerance() {
+    let region = region();
+    let specs = portfolio(&region);
+    let mut broker = ResourceBroker::new(region.server_count());
+    broker.register_reservation("web");
+    broker.register_reservation("feed");
+    let snap = broker.snapshot(SimTime::ZERO);
+    let params = SolverParams::default();
+
+    let (mono, _) = ShardedSession::new()
+        .solve_round(&region, &specs, &snap, &params)
+        .expect("monolithic solve");
+    let mono_score = evaluate_targets(&region, &specs, &snap, &params, &mono.targets);
+    assert!(mono_score.capacity_feasible(1e-6));
+
+    for k in [2usize, 3] {
+        let sharded_params = SolverParams {
+            shards: k,
+            ..params.clone()
+        };
+        let (sharded, report) = ShardedSession::new()
+            .solve_round(&region, &specs, &snap, &sharded_params)
+            .expect("sharded solve");
+        assert_eq!(report.shards.len(), k);
+        let score = evaluate_targets(&region, &specs, &snap, &params, &sharded.targets);
+        assert!(
+            score.capacity_feasible(1e-6),
+            "k={k}: merged plan infeasible: {:?}",
+            score.capacity_shortfall
+        );
+        let tol = sharded_tolerance(k, &params, mono_score.objective);
+        assert!(
+            (score.objective - mono_score.objective).abs() <= tol,
+            "k={k}: sharded {} vs monolithic {} exceeds tolerance {tol}",
+            score.objective,
+            mono_score.objective
+        );
+    }
+}

@@ -84,11 +84,20 @@ pub struct RoundReport {
     pub cold_status_matches: Option<bool>,
     /// Every phase this round solved was certificate-checked and came
     /// back clean (requires the auditor: debug builds, or
-    /// [`ras_core::AuditMode::On`] in the round's params).
+    /// [`ras_core::AuditMode::On`] in the round's params). For a sharded
+    /// round this walks every shard's real phase statistics — the
+    /// synthesized aggregate carries no certificate of its own.
     pub audit_certified: bool,
-    /// Total certificate violations across both phases — zero on every
-    /// trustworthy solve, warm or cold.
+    /// Total certificate violations across all audited phases — zero on
+    /// every trustworthy solve, warm or cold, sharded or monolithic.
     pub audit_violations: usize,
+    /// Shards the round solved in parallel (1 = monolithic).
+    pub shards: usize,
+    /// Surplus free-pool acquisitions the merge pass released (0 for
+    /// monolithic rounds).
+    pub reconcile_released: usize,
+    /// Wall-clock seconds of the sharded merge/reconcile pass.
+    pub merge_seconds: f64,
 }
 
 /// A deterministic xorshift generator (no external RNG dependency).
@@ -135,7 +144,7 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
     }
     let mut solver = AsyncSolver::new(config.params.clone());
     let mut rng = Xorshift(config.seed | 1);
-    let churn = (region.server_count() as f64 * config.churn_fraction).round() as usize;
+    let churn = ras_core::cast::rounded_usize(region.server_count() as f64 * config.churn_fraction);
     let mut downed: Vec<ServerId> = Vec::new();
     let mut reports = Vec::with_capacity(config.rounds);
 
@@ -189,11 +198,23 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             (None, None, None)
         };
 
-        let phase_audits = std::iter::once(&output.phase1)
-            .chain(output.phase2.iter())
-            .map(|p| &p.mip_stats.audit);
-        let audit_certified = phase_audits.clone().all(|a| a.certified_clean());
-        let audit_violations = phase_audits.map(|a| a.violations.len()).sum();
+        // Certification must come from real solver phases: sharded rounds
+        // expose them per shard, monolithic rounds as phase1/phase2.
+        let phase_audits: Vec<_> = output
+            .audit_phases()
+            .into_iter()
+            .map(|p| &p.mip_stats.audit)
+            .collect();
+        let audit_certified = phase_audits.iter().all(|a| a.certified_clean());
+        let audit_violations = phase_audits.iter().map(|a| a.violations.len()).sum();
+        let (shards, reconcile_released, merge_seconds) = match &output.sharded {
+            Some(rep) => (
+                rep.shards.len(),
+                rep.reconcile.released,
+                rep.reconcile.merge_seconds,
+            ),
+            None => (1, 0, 0.0),
+        };
 
         solver.apply(&output, &mut broker).expect("apply");
         for s in broker.pending_moves() {
@@ -215,6 +236,9 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             cold_status_matches,
             audit_certified,
             audit_violations,
+            shards,
+            reconcile_released,
+            merge_seconds,
         });
     }
     reports
@@ -261,6 +285,41 @@ mod tests {
             assert!(!r.warm.basis_remapped, "round {} stable names", r.round);
             assert!(r.warm.warm_basis_accepted, "round {} basis", r.round);
             assert!(r.warm.incumbent_seeded, "round {} incumbent", r.round);
+        }
+    }
+
+    #[test]
+    fn sharded_rounds_stay_warm_and_certified() {
+        let region = region();
+        let config = ContinuousConfig {
+            rounds: 4,
+            churn_fraction: 0.02,
+            params: ras_core::SolverParams {
+                shards: 2,
+                audit: ras_core::AuditMode::On,
+                ..ras_core::SolverParams::default()
+            },
+            ..ContinuousConfig::default()
+        };
+        let reports = run_continuous(&region, &config);
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.shards, 2, "round {} must solve sharded", r.round);
+            assert!(
+                r.audit_certified && r.audit_violations == 0,
+                "round {} must certify every shard phase",
+                r.round
+            );
+            assert!(r.objective.is_finite());
+            assert!(r.assigned > 0, "round {} fills the portfolio", r.round);
+        }
+        for r in &reports[1..] {
+            assert!(
+                r.warm.warm_basis_supplied && r.warm.seed_supplied,
+                "round {} must run warm in every shard: {:?}",
+                r.round,
+                r.warm
+            );
         }
     }
 
