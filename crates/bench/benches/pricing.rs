@@ -5,7 +5,7 @@
 //! way `solver.rs` quantifies the basis engines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ras_milp::simplex::{solve_lp, LpStatus, PricingRule, SimplexConfig};
+use ras_milp::simplex::{solve_lp, solve_lp_warm, LpStatus, PricingRule, SimplexConfig};
 use ras_milp::standard::StandardForm;
 use ras_milp::{LinExpr, Model, Sense, VarType};
 
@@ -94,9 +94,104 @@ fn bench_pricing_region_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bound-patch re-solve: the session hot path. One cold solve persists
+/// its basis, then a handful of upper bounds tighten (a round's count
+/// patch) and the LP re-solves three ways: cold from scratch, warm
+/// through the legacy primal repair (`warm_dual: false`), and warm
+/// through the dual simplex (the default). The dual path should win —
+/// the patched basis is dual feasible, so it needs no phase 1 and no
+/// feasibility repair pivots.
+fn bench_bound_patch_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_patch_resolve");
+    for m in [10usize, 30] {
+        let sf = transportation(m);
+        let cold_cfg = SimplexConfig::default();
+        let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cold_cfg);
+        assert_eq!(base.status, LpStatus::Optimal);
+        let basis = base.basis.clone().expect("optimal solve persists a basis");
+        // Tighten the bound of every 7th structural column that the
+        // optimum uses, forcing real dual repair work.
+        let mut upper = sf.upper.clone();
+        for (j, v) in base.values.iter().take(m * m).enumerate() {
+            if j % 7 == 0 && *v > 0.5 {
+                upper[j] = (*v - 0.5).max(0.0);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("cold", m * m), &sf, |b, sf| {
+            b.iter(|| {
+                let r = solve_lp(sf, &sf.lower.clone(), &upper, &cold_cfg);
+                assert_eq!(r.status, LpStatus::Optimal);
+                r.objective
+            })
+        });
+        for (name, warm_dual) in [("warm_primal", false), ("warm_dual", true)] {
+            let cfg = SimplexConfig {
+                warm_dual,
+                ..SimplexConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(name, m * m), &sf, |b, sf| {
+                b.iter(|| {
+                    let r = solve_lp_warm(sf, &sf.lower.clone(), &upper, &cfg, Some(&basis));
+                    assert_eq!(r.status, LpStatus::Optimal);
+                    r.objective
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The dual simplex as a standalone solver on the region-scale diagonal
+/// LP: cold primal vs a dual re-solve from the optimal basis after an
+/// RHS perturbation (which leaves the basis dual feasible by
+/// construction).
+fn bench_dual_simplex_region_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_resolve_region_scale");
+    group.sample_size(10);
+    let sf = diagonal(20_000, 250);
+    let cfg = SimplexConfig::default();
+    let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+    assert_eq!(base.status, LpStatus::Optimal);
+    let basis = base.basis.clone().expect("optimal solve persists a basis");
+    let mut patched = sf.clone();
+    // Raise every 50th active demand: the primal optimum goes
+    // infeasible, the dual simplex pushes those rows back up.
+    for i in (0..250).step_by(50) {
+        patched.rhs[i] = 1.5;
+    }
+    group.bench_function(BenchmarkId::new("cold", 20_000), |b| {
+        b.iter(|| {
+            let r = solve_lp(
+                &patched,
+                &patched.lower.clone(),
+                &patched.upper.clone(),
+                &cfg,
+            );
+            assert_eq!(r.status, LpStatus::Optimal);
+            r.objective
+        })
+    });
+    group.bench_function(BenchmarkId::new("warm_dual", 20_000), |b| {
+        b.iter(|| {
+            let r = solve_lp_warm(
+                &patched,
+                &patched.lower.clone(),
+                &patched.upper.clone(),
+                &cfg,
+                Some(&basis),
+            );
+            assert_eq!(r.status, LpStatus::Optimal);
+            r.objective
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pricing_transportation,
-    bench_pricing_region_scale
+    bench_pricing_region_scale,
+    bench_bound_patch_resolve,
+    bench_dual_simplex_region_scale
 );
 criterion_main!(benches);

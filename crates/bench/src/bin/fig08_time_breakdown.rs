@@ -30,6 +30,13 @@ fn main() {
     let mut pivots = 0usize;
     let mut rebuilds = 0usize;
     let mut cand_hits = 0usize;
+    // Basis-maintenance counters: dual-simplex pivots, in-place
+    // factorization updates, and refactorizations by trigger.
+    let mut dual_pivots = 0usize;
+    let mut basis_updates = 0usize;
+    let mut refac_interval = 0usize;
+    let mut refac_growth = 0usize;
+    let mut refac_accuracy = 0usize;
     let rounds = 10u64;
     for round in 0..rounds {
         instance::perturb(&mut inst, round);
@@ -50,6 +57,11 @@ fn main() {
                 pivots += s.mip_stats.simplex_iterations;
                 rebuilds += s.mip_stats.pricing_full_rebuilds;
                 cand_hits += s.mip_stats.pricing_candidate_hits;
+                dual_pivots += s.mip_stats.dual_iterations;
+                basis_updates += s.mip_stats.basis_updates;
+                refac_interval += s.mip_stats.refactors_interval;
+                refac_growth += s.mip_stats.refactors_growth;
+                refac_accuracy += s.mip_stats.refactors_accuracy;
                 if slot == 1 {
                     phase2_runs += 1;
                 }
@@ -96,6 +108,11 @@ fn main() {
     exp.note(format!(
         "pricing: {pivots} simplex pivots, {rebuilds} full reduced-cost rebuilds, \
          {cand_hits} candidate-list hits"
+    ));
+    exp.note(format!(
+        "basis: {dual_pivots} dual pivots, {basis_updates} Forrest-Tomlin updates, \
+         refactorizations {refac_interval} interval / {refac_growth} growth / \
+         {refac_accuracy} accuracy"
     ));
     exp.note("shape check: MIP share of phase 1 should exceed its share of phase 2");
     exp.finish();

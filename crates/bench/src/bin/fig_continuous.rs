@@ -45,8 +45,21 @@ fn main() {
         "Continuous operation: cold vs warm solve time per round",
         "warm rounds >=2x faster than cold on the same input; statuses and objectives agree",
         &[
-            "round", "churned", "warm_s", "cold_s", "speedup", "lp_iters", "moves", "reused",
-            "basis", "seeded", "pruned", "audit",
+            "round",
+            "churned",
+            "warm_s",
+            "cold_s",
+            "speedup",
+            "lp_iters",
+            "p1_iters",
+            "dual_iters",
+            "dual",
+            "moves",
+            "reused",
+            "basis",
+            "seeded",
+            "pruned",
+            "audit",
         ],
     );
     for r in &reports {
@@ -58,6 +71,9 @@ fn main() {
             fmt(cold, 4),
             fmt(cold / r.solve_seconds.max(1e-12), 2),
             r.lp_iterations.to_string(),
+            r.warm.root_phase1_iterations.to_string(),
+            r.warm.dual_iterations.to_string(),
+            (if r.warm.dual_resolve { "dual" } else { "-" }).to_string(),
             r.moves.to_string(),
             (if r.warm.model_reused {
                 if r.warm.model_patched {
@@ -127,9 +143,29 @@ fn main() {
         "audit: {certified}/{} rounds certified clean, {violations} violations",
         reports.len()
     ));
+    // The warm-path contract for bound-only rounds: a reused model whose
+    // warm basis sticks must re-solve via the dual simplex with zero
+    // phase-1 iterations — phase 1 rebuilding feasibility from scratch
+    // would mean the persisted basis bought nothing.
+    let bound_only_rounds: Vec<_> = warm
+        .iter()
+        .filter(|r| r.warm.bounds_only_patch && r.warm.warm_basis_accepted)
+        .collect();
+    let phase1_free = bound_only_rounds
+        .iter()
+        .filter(|r| r.warm.root_phase1_iterations == 0)
+        .count();
+    exp.note(format!(
+        "bound-only warm rounds with zero phase-1 iterations: {phase1_free}/{}",
+        bound_only_rounds.len()
+    ));
     exp.finish();
     if certified != reports.len() || violations != 0 {
         eprintln!("fig_continuous: audit certification failed");
+        std::process::exit(1);
+    }
+    if phase1_free != bound_only_rounds.len() {
+        eprintln!("fig_continuous: bound-only warm round ran phase-1 iterations");
         std::process::exit(1);
     }
 }

@@ -122,6 +122,18 @@ impl BranchAndBound {
             deadline: Some(
                 start + std::time::Duration::from_secs_f64(self.config.time_limit_seconds),
             ),
+            pricing: self.config.pricing,
+            dual_pricing: self.config.dual_pricing,
+            // Node and dive re-solves stay on the conservative one-
+            // violation-at-a-time repair: a branch changes a single
+            // bound, and the long-step dual's bound flips would jump
+            // whole runs of nonbasic integer columns to their opposite
+            // bounds, scrambling the vertex trajectory the search (and
+            // any downstream solve built from this solution) depends on
+            // staying near-integral. The long-step engine earns its keep
+            // on the root re-solve below, where a round's bound patch
+            // moves many bounds at once.
+            warm_dual: false,
             ..SimplexConfig::default()
         };
 
@@ -154,6 +166,7 @@ impl BranchAndBound {
         // root if the budget is already spent.
         let root_config = SimplexConfig {
             deadline: None,
+            warm_dual: self.config.warm_dual,
             ..lp_config.clone()
         };
         // A warm basis from the previous round (repaired against column
@@ -167,6 +180,8 @@ impl BranchAndBound {
         let root = solve_lp_warm(&sf, &root_lower, &root_upper, &root_config, warm_basis);
         stats.root_lp_seconds = root_start.elapsed().as_secs_f64();
         stats.warm_basis_accepted = root.warm_basis_used;
+        stats.root_phase1_iterations = root.phase1_iterations;
+        stats.root_used_dual_simplex = root.used_dual_simplex;
         stats.record_lp(&root);
         match root.status {
             LpStatus::Infeasible => return Err(SolveError::Infeasible),

@@ -13,13 +13,16 @@
 //!   infeasibility detection, run before the search;
 //! * [`standard`] — conversion to computational standard form;
 //! * [`lu`] — sparse LU factorization (Gilbert–Peierls left-looking
-//!   elimination) backing the large-instance basis engine;
+//!   elimination) with Forrest–Tomlin updates, backing the
+//!   large-instance basis engine;
 //! * [`simplex`] — a bounded-variable, two-phase revised primal simplex
-//!   with a pluggable basis engine (dense inverse for small instances,
-//!   sparse LU plus eta-file updates for region-scale models, both with
-//!   periodic refactorization) and a pluggable pricing engine (Dantzig,
-//!   devex, and partial devex over a candidate list, with incrementally
-//!   maintained reduced costs);
+//!   plus a dual simplex for warm re-solves, with a pluggable basis
+//!   engine (dense inverse for small instances, Forrest–Tomlin-updated
+//!   sparse LU for region-scale models, the legacy eta file as a
+//!   differential baseline, all with periodic refactorization) and
+//!   pluggable pricing engines (Dantzig, devex, and partial devex with
+//!   incrementally maintained reduced costs on the primal side; dual
+//!   devex with a bound-flip ratio test on the dual side);
 //! * [`audit`] — a static model auditor (run before every solve) and
 //!   solution certificate checkers (primal/dual feasibility, integrality,
 //!   incumbent-within-gap) producing a structured [`AuditReport`];
@@ -65,5 +68,5 @@ pub use branch::BranchAndBound;
 pub use expr::{LinExpr, Var};
 pub use localsearch::LocalSearch;
 pub use model::{Constraint, Model, Sense, VarType};
-pub use simplex::{Basis, PricingRule, PricingStats};
+pub use simplex::{Basis, BasisStats, DualPricingRule, PricingRule, PricingStats};
 pub use solution::{Solution, SolveConfig, SolveError, SolveStats, Status, WarmStart};

@@ -5,9 +5,16 @@
 //! slack/identity columns through first, where they cause no fill —
 //! magnitude pivoting within each column, and a symbolic depth-first
 //! reach so each step costs time proportional to the fill it actually
-//! produces. The factors are stored column-wise in [`CscStore`]s. The
-//! simplex engine pairs one factorization with an eta file of
-//! product-form updates and refactorizes periodically (see `simplex.rs`).
+//! produces. The factors are stored column-wise in [`CscStore`]s.
+//!
+//! Two update schemes sit on top of a factorization:
+//!
+//! * the legacy product-form *eta file* (kept in `simplex.rs` as the
+//!   differential baseline), which appends one rank-one eta per pivot and
+//!   loses sparsity and accuracy on long pivot sequences; and
+//! * [`FtFactors`] — Forrest–Tomlin updates that modify `U` in place per
+//!   pivot, keeping the factorization genuinely triangular so `ftran` /
+//!   `btran` residuals stay bounded between refactorizations.
 
 use crate::sparse::CscStore;
 
@@ -302,6 +309,413 @@ impl LuFactors {
     }
 }
 
+/// Why a Forrest–Tomlin update was refused (the caller must refactorize
+/// before further pivots; the factors are untouched on refusal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtReject {
+    /// The replacement diagonal came out non-finite or negligibly small:
+    /// the updated basis is (numerically) singular through this column.
+    SingularDiagonal,
+    /// A row-elimination multiplier grew past the stability cap, so the
+    /// update would amplify rounding error instead of bounding it.
+    UnstableMultiplier,
+}
+
+/// One Forrest–Tomlin row eta: the elementary row operations that
+/// eliminated the row spike of one update. In `ftran`, row `target` of
+/// the intermediate vector receives `x[target] -= Σ mu_j · x[source_j]`.
+#[derive(Debug, Clone)]
+struct FtEta {
+    /// Step whose row was eliminated (the replaced column's step).
+    target: u32,
+    /// `(source step, multiplier)` pairs, recorded in elimination order.
+    entries: Vec<(u32, f64)>,
+}
+
+/// Sparse LU factors maintained under Forrest–Tomlin column updates.
+///
+/// Built from a fresh [`LuFactors`] factorization, this keeps `L` and the
+/// row permutation fixed while `U` is *mutated* per basis change: the
+/// replaced column becomes the spike `U·w̃` (computed from the simplex's
+/// FTRAN direction `w = B⁻¹a_q`), the replaced step moves to the end of a
+/// dynamic triangular ordering, and the resulting row spike is eliminated
+/// by elementary row operations recorded as `FtEta`s. The invariant is
+///
+/// ```text
+/// B = Pᵀ · L · (E₁⁻¹ ⋯ Eₚ⁻¹) · U · Q
+/// ```
+///
+/// with `U` genuinely upper triangular with respect to the maintained
+/// ordering — unlike the product-form eta file, whose implicit `U` only
+/// degrades as pivots accumulate. `U` is stored twice (column-wise and
+/// row-wise mirrors, both step-indexed) so both the spike insertion and
+/// the row elimination run in time proportional to the touched nonzeros.
+#[derive(Debug, Clone)]
+pub struct FtFactors {
+    m: usize,
+    /// Row eliminated at each step (fixed at factorization).
+    pivot_row: Vec<usize>,
+    /// Basis column (slot) of each step. Fixed under updates: a replaced
+    /// column keeps its slot and therefore its step index.
+    slot_of_step: Vec<usize>,
+    /// Inverse of `slot_of_step`.
+    step_of_slot: Vec<usize>,
+    /// `L` by step: off-diagonal multipliers, indexed by original row.
+    l: CscStore,
+    /// `U` off-diagonals column-wise: `u_cols[t]` holds `(row step, value)`.
+    u_cols: Vec<Vec<(u32, f64)>>,
+    /// Row-wise mirror: `u_rows[k]` holds `(column step, value)`.
+    u_rows: Vec<Vec<(u32, f64)>>,
+    /// Diagonal of `U` per step.
+    diag: Vec<f64>,
+    /// Dynamic triangular ordering: `order[p]` is the step at position `p`.
+    order: Vec<u32>,
+    /// Inverse of `order`: position of each step.
+    pos: Vec<u32>,
+    /// Row etas accumulated since the factorization, in creation order.
+    etas: Vec<FtEta>,
+    /// Total entries across all etas (growth telemetry).
+    eta_entries: usize,
+    /// Nonzeros at the last factorization (denominator of `fill_ratio`).
+    base_nnz: usize,
+    /// Updates applied since the last factorization.
+    updates: usize,
+    // Dense epoch-marked scratch for `update`.
+    spike: Vec<f64>,
+    spike_mark: Vec<u32>,
+    spike_pat: Vec<u32>,
+    roww: Vec<f64>,
+    roww_mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl FtFactors {
+    /// Largest row-elimination multiplier accepted before an update is
+    /// refused with [`FtReject::UnstableMultiplier`].
+    const MAX_MULTIPLIER: f64 = 1e12;
+
+    /// Wraps a fresh factorization for in-place updates.
+    pub fn from_lu(lu: LuFactors) -> Self {
+        let m = lu.m;
+        let mut u_cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        let mut u_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        for (k, col) in u_cols.iter_mut().enumerate() {
+            for (t, uv) in lu.u.column(k) {
+                col.push((t as u32, uv));
+                u_rows[t].push((k as u32, uv));
+            }
+        }
+        let base_nnz = lu.l.nnz() + lu.u.nnz() + m;
+        Self {
+            m,
+            pivot_row: lu.pivot_row,
+            slot_of_step: lu.slot_of_step,
+            step_of_slot: lu.step_of_slot,
+            l: lu.l,
+            u_cols,
+            u_rows,
+            diag: lu.u_diag,
+            order: (0..m as u32).collect(),
+            pos: (0..m as u32).collect(),
+            etas: Vec::new(),
+            eta_entries: 0,
+            base_nnz,
+            updates: 0,
+            spike: vec![0.0; m],
+            spike_mark: vec![u32::MAX; m],
+            spike_pat: Vec::new(),
+            roww: vec![0.0; m],
+            roww_mark: vec![u32::MAX; m],
+            epoch: 0,
+        }
+    }
+
+    /// Factors of the diagonal basis `B = diag(signs)`.
+    pub fn diagonal(signs: &[f64]) -> Self {
+        Self::from_lu(LuFactors::diagonal(signs))
+    }
+
+    /// Dimension of the factored basis.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Updates applied since the last factorization.
+    pub fn update_count(&self) -> usize {
+        self.updates
+    }
+
+    /// Current stored nonzeros (`L`, `U` off-diagonals + diagonal, etas)
+    /// relative to the factorization this started from. The simplex
+    /// engine refactorizes on growth ("spike length") when this passes
+    /// its cap, separately from the accuracy-triggered path.
+    pub fn fill_ratio(&self) -> f64 {
+        let now = self.l.nnz()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.m
+            + self.eta_entries;
+        now as f64 / self.base_nnz.max(1) as f64
+    }
+
+    /// Solves `B z = v` in place (FTRAN): `v` enters indexed by
+    /// constraint row and leaves indexed by basis slot. `scratch` must
+    /// have length `m`.
+    pub fn ftran(&self, v: &mut [f64], scratch: &mut [f64]) {
+        let m = self.m;
+        // L solve (unit diagonal), column-oriented in step order; values
+        // live at original-row indices throughout.
+        for k in 0..m {
+            let t = v[self.pivot_row[k]];
+            if t != 0.0 {
+                for (r, lv) in self.l.column(k) {
+                    v[r] -= lv * t;
+                }
+            }
+        }
+        // Row etas in creation order (step space via `pivot_row`): each
+        // update's sources are never its own target, so within one eta
+        // the entries are order-independent.
+        for eta in &self.etas {
+            let tr = self.pivot_row[eta.target as usize];
+            let mut s = v[tr];
+            for &(src, mu) in &eta.entries {
+                s -= mu * v[self.pivot_row[src as usize]];
+            }
+            v[tr] = s;
+        }
+        // U back-substitution, column-oriented in reverse *position*
+        // order — the dynamic ordering is what updates keep triangular.
+        for p in (0..m).rev() {
+            let k = self.order[p] as usize;
+            let pr = self.pivot_row[k];
+            let z = v[pr] / self.diag[k];
+            v[pr] = z;
+            if z != 0.0 {
+                for &(r, uv) in &self.u_cols[k] {
+                    v[self.pivot_row[r as usize]] -= uv * z;
+                }
+            }
+        }
+        // Un-permute from step space into slot space.
+        for k in 0..m {
+            scratch[self.slot_of_step[k]] = v[self.pivot_row[k]];
+        }
+        v.copy_from_slice(scratch);
+    }
+
+    /// Solves `Bᵀ y = v` in place (BTRAN): `v` enters indexed by basis
+    /// slot and leaves indexed by constraint row. `scratch` must have
+    /// length `m`.
+    pub fn btran(&self, v: &mut [f64], scratch: &mut [f64]) {
+        let m = self.m;
+        // Permute into step space.
+        for k in 0..m {
+            scratch[k] = v[self.slot_of_step[k]];
+        }
+        self.btran_steps(v, scratch, 0);
+    }
+
+    /// Solves `Bᵀ ρ = e_slot` into `v` (overwritten entirely), skipping
+    /// the Uᵀ forward-solve prefix before the replaced step's *position*
+    /// — the same pricing fast path as [`LuFactors::btran_unit`], but
+    /// valid with updates applied. `scratch` contents are ignored.
+    pub fn btran_unit(&self, slot: usize, v: &mut [f64], scratch: &mut [f64]) {
+        let t0 = self.step_of_slot[slot];
+        let p0 = self.pos[t0] as usize;
+        // Materialize the unit right-hand side (the incoming scratch is
+        // dirty): zeros everywhere, one at the replaced step. Positions
+        // before `p0` then stay zero through the skipped solve prefix.
+        scratch.iter_mut().for_each(|s| *s = 0.0);
+        scratch[t0] = 1.0;
+        self.btran_steps(v, scratch, p0);
+    }
+
+    /// Shared BTRAN tail: Uᵀ forward solve from position `p_start` (all
+    /// earlier positions already hold solved — possibly zero — values in
+    /// `scratch`, step-indexed, with the raw right-hand side at later
+    /// positions), then the eta transposes in reverse creation order,
+    /// then the Lᵀ solve writing the row-indexed result into `v`.
+    fn btran_steps(&self, v: &mut [f64], scratch: &mut [f64], p_start: usize) {
+        let m = self.m;
+        // Uᵀ forward solve in ascending position order: every off-diagonal
+        // of column `k` sits at an earlier position, already solved.
+        for p in p_start..m {
+            let k = self.order[p] as usize;
+            let mut s = scratch[k];
+            for &(t, uv) in &self.u_cols[k] {
+                s -= uv * scratch[t as usize];
+            }
+            scratch[k] = s / self.diag[k];
+        }
+        // Eta transposes in reverse creation order: sources update from
+        // the (unmodified-within-this-eta) target.
+        for eta in self.etas.iter().rev() {
+            let zt = scratch[eta.target as usize];
+            if zt != 0.0 {
+                for &(src, mu) in &eta.entries {
+                    scratch[src as usize] -= mu * zt;
+                }
+            }
+        }
+        // Lᵀ backward solve; L's column `k` reads rows pivoted by later
+        // steps, all already written in this sweep.
+        for k in (0..m).rev() {
+            let mut s = scratch[k];
+            for (r, lv) in self.l.column(k) {
+                s -= lv * v[r];
+            }
+            v[self.pivot_row[k]] = s;
+        }
+    }
+
+    /// Forrest–Tomlin update after a pivot that replaces the basis column
+    /// in `slot` with a column whose FTRAN direction is `w = B⁻¹a_q`
+    /// (slot-indexed — exactly what the simplex already has in hand).
+    ///
+    /// On `Err` the factors are untouched and the caller must
+    /// refactorize: the numeric checks run against scratch state before
+    /// anything is committed.
+    pub fn update(&mut self, slot: usize, w: &[f64]) -> Result<(), FtReject> {
+        let m = self.m;
+        let t = self.step_of_slot[slot];
+        self.epoch = self.epoch.wrapping_add(1);
+        let epoch = self.epoch;
+
+        // The spike replacing column `t` of `U` is `U·w̃` (w̃ = w permuted
+        // into step space): `B w = a_q` gives `U Q w = (L·M⁻¹)⁻¹ a_q`,
+        // so the current `U` — prior updates included — maps the FTRAN
+        // result straight to the spike. Column-oriented for sparsity.
+        self.spike_pat.clear();
+        for k in 0..m {
+            let wk = w[self.slot_of_step[k]];
+            if wk == 0.0 {
+                continue;
+            }
+            if self.spike_mark[k] != epoch {
+                self.spike_mark[k] = epoch;
+                self.spike[k] = 0.0;
+                self.spike_pat.push(k as u32);
+            }
+            self.spike[k] += self.diag[k] * wk;
+            for &(r, uv) in &self.u_cols[k] {
+                let r = r as usize;
+                if self.spike_mark[r] != epoch {
+                    self.spike_mark[r] = epoch;
+                    self.spike[r] = 0.0;
+                    self.spike_pat.push(r as u32);
+                }
+                self.spike[r] += uv * wk;
+            }
+        }
+        // Dry-run the row-spike elimination against scratch state: walk
+        // the positions after `t`'s in order, eliminating row `t`'s
+        // entries with the rows above. Entries of old column `t` inside
+        // `u_rows` are skipped — committing deletes them — and the
+        // replacement column's contribution is tracked through the spike
+        // values instead, which is exactly the new diagonal
+        // `d_t = spike_t − Σ mu_j · spike_{s_j}`.
+        let old_pos = self.pos[t] as usize;
+        for &(s, uv) in &self.u_rows[t] {
+            let s_us = s as usize;
+            self.roww_mark[s_us] = epoch;
+            self.roww[s_us] = uv;
+        }
+        let mut eta_entries: Vec<(u32, f64)> = Vec::new();
+        let mut d_t = if self.spike_mark[t] == epoch {
+            self.spike[t]
+        } else {
+            0.0
+        };
+        let mut spike_scale = d_t.abs();
+        for &k in &self.spike_pat {
+            spike_scale = spike_scale.max(self.spike[k as usize].abs());
+        }
+        for p in old_pos + 1..m {
+            let s = self.order[p] as usize;
+            if self.roww_mark[s] != epoch {
+                continue;
+            }
+            let val = self.roww[s];
+            if val == 0.0 {
+                continue;
+            }
+            let mu = val / self.diag[s];
+            if !mu.is_finite() || mu.abs() > Self::MAX_MULTIPLIER {
+                return Err(FtReject::UnstableMultiplier);
+            }
+            eta_entries.push((s as u32, mu));
+            d_t -= mu
+                * if self.spike_mark[s] == epoch {
+                    self.spike[s]
+                } else {
+                    0.0
+                };
+            for &(t2, uv) in &self.u_rows[s] {
+                let t2_us = t2 as usize;
+                if t2_us == t {
+                    continue;
+                }
+                if self.roww_mark[t2_us] != epoch {
+                    self.roww_mark[t2_us] = epoch;
+                    self.roww[t2_us] = 0.0;
+                }
+                self.roww[t2_us] -= mu * uv;
+            }
+        }
+        if !d_t.is_finite() || d_t.abs() <= 1e-11 * (1.0 + spike_scale) {
+            return Err(FtReject::SingularDiagonal);
+        }
+
+        // Commit. Delete old column `t` from the row mirror…
+        for &(r, _) in &self.u_cols[t] {
+            remove_entry(&mut self.u_rows[r as usize], t as u32);
+        }
+        self.u_cols[t].clear();
+        // …and old row `t` from the column mirror.
+        for &(s, _) in &self.u_rows[t] {
+            remove_entry(&mut self.u_cols[s as usize], t as u32);
+        }
+        self.u_rows[t].clear();
+        // Move `t` to the last position (everything after shifts left).
+        for p in old_pos..m - 1 {
+            let s = self.order[p + 1];
+            self.order[p] = s;
+            self.pos[s as usize] = p as u32;
+        }
+        self.order[m - 1] = t as u32;
+        self.pos[t] = (m - 1) as u32;
+        // Record the row eta and insert the spike as the new column `t`.
+        if !eta_entries.is_empty() {
+            self.eta_entries += eta_entries.len();
+            self.etas.push(FtEta {
+                target: t as u32,
+                entries: eta_entries,
+            });
+        }
+        for &k in &self.spike_pat {
+            let k_us = k as usize;
+            if k_us == t {
+                continue;
+            }
+            let val = self.spike[k_us];
+            if val != 0.0 {
+                self.u_cols[t].push((k, val));
+                self.u_rows[k_us].push((t as u32, val));
+            }
+        }
+        self.diag[t] = d_t;
+        self.updates += 1;
+        Ok(())
+    }
+}
+
+/// Removes the entry keyed `key` from a mirror list (order-insensitive).
+fn remove_entry(list: &mut Vec<(u32, f64)>, key: u32) {
+    if let Some(idx) = list.iter().position(|&(k, _)| k == key) {
+        list.swap_remove(idx);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +849,176 @@ mod tests {
             lu.btran_unit(slot, &mut got, &mut dirty);
             assert_close(&got, &expected);
         }
+    }
+
+    /// Deterministic xorshift for reproducible update sequences.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn rand_unit(state: &mut u64) -> f64 {
+        (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A well-conditioned random sparse basis for update tests.
+    fn random_basis(m: usize, state: &mut u64) -> Vec<Vec<(usize, f64)>> {
+        (0..m)
+            .map(|slot| {
+                let mut col = vec![(slot, 2.0 + rand_unit(state))];
+                for _ in 0..2 {
+                    let r = (xorshift(state) as usize) % m;
+                    if r != slot {
+                        col.push((r, rand_unit(state) - 0.5));
+                    }
+                }
+                col
+            })
+            .collect()
+    }
+
+    /// A random replacement column touching a few rows.
+    fn random_column(m: usize, anchor: usize, state: &mut u64) -> Vec<(usize, f64)> {
+        let mut col = vec![(anchor, 1.5 + rand_unit(state))];
+        for _ in 0..3 {
+            let r = (xorshift(state) as usize) % m;
+            if col.iter().all(|&(cr, _)| cr != r) {
+                col.push((r, 2.0 * rand_unit(state) - 1.0));
+            }
+        }
+        col
+    }
+
+    fn scatter(m: usize, col: &[(usize, f64)]) -> Vec<f64> {
+        let mut v = vec![0.0; m];
+        for &(r, val) in col {
+            v[r] += val;
+        }
+        v
+    }
+
+    /// Residual `‖B z − v‖∞` of an FTRAN answer against exact columns.
+    fn ftran_residual(columns: &[Vec<(usize, f64)>], z: &[f64], rhs: &[f64]) -> f64 {
+        mul(columns, z)
+            .iter()
+            .zip(rhs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn ft_matches_lu_before_updates() {
+        let cols = vec![
+            vec![(0, 1.0)],
+            vec![(1, 2.0), (3, 1.0)],
+            vec![(2, -1.0)],
+            vec![(1, 1.0), (3, 3.0), (4, 1.0)],
+            vec![(4, 1.0), (0, 0.5)],
+        ];
+        let m = cols.len();
+        let lu = LuFactors::factorize(m, &cols, 1e-12).expect("nonsingular");
+        let ft = FtFactors::from_lu(lu.clone());
+        let rhs = [1.0, -2.0, 3.5, 0.0, 4.0];
+        let mut scratch = vec![0.0; m];
+        let mut a = rhs.to_vec();
+        let mut b = rhs.to_vec();
+        lu.ftran(&mut a, &mut scratch);
+        ft.ftran(&mut b, &mut scratch);
+        assert_close(&a, &b);
+        let mut a = rhs.to_vec();
+        let mut b = rhs.to_vec();
+        lu.btran(&mut a, &mut scratch);
+        ft.btran(&mut b, &mut scratch);
+        assert_close(&a, &b);
+    }
+
+    /// Long random column-replacement sequences: after every update the
+    /// FT solves must agree with a *fresh* factorization of the current
+    /// columns, in both directions, including the unit-BTRAN fast path.
+    #[test]
+    fn ft_updates_match_fresh_factorization() {
+        let m = 12;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for trial in 0..5 {
+            let mut columns = random_basis(m, &mut state);
+            let lu = LuFactors::factorize(m, &columns, 1e-12).expect("nonsingular");
+            let mut ft = FtFactors::from_lu(lu);
+            let mut scratch = vec![0.0; m];
+            for step in 0..40 {
+                let slot = (xorshift(&mut state) as usize) % m;
+                let new_col = random_column(m, slot, &mut state);
+                // w = B⁻¹ a_q from the *current* factors.
+                let mut w = scatter(m, &new_col);
+                ft.ftran(&mut w, &mut scratch);
+                if ft.update(slot, &w).is_err() {
+                    // Unlucky near-singular replacement: restart factors
+                    // without applying it (the simplex refactorizes here).
+                    continue;
+                }
+                columns[slot] = new_col;
+                assert!(
+                    LuFactors::factorize(m, &columns, 1e-12).is_some(),
+                    "replacement kept the basis nonsingular"
+                );
+                // FTRAN residual against the exact current columns.
+                let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 4.0).collect();
+                let mut z = rhs.clone();
+                ft.ftran(&mut z, &mut scratch);
+                assert!(
+                    ftran_residual(&columns, &z, &rhs) < 1e-7,
+                    "trial {trial} step {step}: ftran drifted"
+                );
+                // BTRAN residual `‖Bᵀy − v‖∞` stays bounded too.
+                let mut y_ft = rhs.clone();
+                ft.btran(&mut y_ft, &mut scratch);
+                let bt_res = mul_t(&columns, &y_ft)
+                    .iter()
+                    .zip(&rhs)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                assert!(bt_res < 1e-7, "trial {trial} step {step}: btran {bt_res}");
+                // Unit-BTRAN fast path stays exact under updates.
+                let probe = (xorshift(&mut state) as usize) % m;
+                let mut expected = vec![0.0; m];
+                expected[probe] = 1.0;
+                ft.btran(&mut expected, &mut scratch);
+                let mut got = vec![f64::NAN; m];
+                let mut dirty = vec![f64::NAN; m];
+                ft.btran_unit(probe, &mut got, &mut dirty);
+                assert_close(&got, &expected);
+            }
+            assert!(ft.update_count() > 20, "most updates should apply");
+        }
+    }
+
+    /// Replacing a column with a copy of another basis column makes the
+    /// basis singular; the update must refuse and leave the factors
+    /// untouched rather than commit a broken `U`.
+    #[test]
+    fn ft_rejects_singular_replacement() {
+        let cols = vec![
+            vec![(0, 2.0), (1, 1.0)],
+            vec![(0, 1.0), (1, 3.0), (2, 1.0)],
+            vec![(1, 1.0), (2, 4.0)],
+        ];
+        let m = cols.len();
+        let lu = LuFactors::factorize(m, &cols, 1e-12).expect("nonsingular");
+        let mut ft = FtFactors::from_lu(lu);
+        let mut scratch = vec![0.0; m];
+        // Duplicate column 1 into slot 0.
+        let mut w = scatter(m, &cols[1]);
+        ft.ftran(&mut w, &mut scratch);
+        assert_eq!(ft.update(0, &w), Err(FtReject::SingularDiagonal));
+        // The factors must still solve the *original* basis exactly.
+        let rhs = [5.0, 10.0, 22.0];
+        let mut z = rhs.to_vec();
+        ft.ftran(&mut z, &mut scratch);
+        assert_close(&mul(&cols, &z), &rhs);
+        assert_eq!(ft.update_count(), 0);
     }
 
     #[test]

@@ -1,19 +1,30 @@
-//! Bounded-variable, two-phase revised primal simplex.
+//! Bounded-variable revised simplex: two-phase primal, plus a true dual
+//! simplex for warm re-solves.
 //!
 //! The engine abstracts its basis-inverse representation behind
 //! [`BasisEngine`]: a dense `B⁻¹` (product-form updates, Gauss-Jordan
 //! refactorization) for small instances, and a sparse LU factorization
-//! (see [`crate::lu`]) with an eta file of product-form updates for
-//! region-scale models, where `m²` doubles would not even fit in memory.
-//! Both are rebuilt every few hundred pivots to bound numerical drift.
+//! (see [`crate::lu`]) for region-scale models, where `m²` doubles would
+//! not even fit in memory. The sparse engine maintains its factors with
+//! Forrest–Tomlin updates ([`crate::lu::FtFactors`]), which keep `U`
+//! genuinely triangular between refactorizations; the legacy product-form
+//! eta file survives as [`BasisEngine::SparseEta`] for differential
+//! testing. All representations are rebuilt every few hundred pivots —
+//! or early, when an update reports instability or fill growth.
 //!
-//! Feasibility starts from a *crash* basis: every row whose residual fits
+//! Cold solves start from a *crash* basis: every row whose residual fits
 //! inside its slack's bounds gets the slack basic (no phase-1 work);
 //! only the remaining rows receive an artificial variable, and phase 1
 //! minimizes their sum. Phase 2 then minimizes the true objective.
 //! Anti-cycling uses Bland's rule after a run of degenerate pivots.
+//!
+//! Warm solves ([`solve_lp_warm`]) skip both phases: a bound or RHS
+//! change leaves the persisted basis *dual* feasible, so the dual simplex
+//! (dual devex pricing, bound-flip ratio test) walks straight back to
+//! optimality with **zero phase-1 iterations** — the re-solve path the
+//! RAS session hits every round.
 
-use crate::lu::LuFactors;
+use crate::lu::{FtFactors, FtReject, LuFactors};
 use crate::standard::StandardForm;
 
 /// Above this row count, [`BasisEngine::Auto`] switches from the dense
@@ -32,6 +43,12 @@ pub const AUTO_PARTIAL_MIN_COLS: usize = 4096;
 /// [`LpStatus::TooLarge`] instead of aborting on out-of-memory.
 /// [`BasisEngine::Auto`] and [`BasisEngine::SparseLu`] have no cap.
 pub const DENSE_MAX_ROWS: usize = 25_000;
+
+/// Dual pivots between full reduced-cost refreshes: the dual iteration
+/// patches `d` incrementally along each α-row, and the accumulated
+/// drift is re-zeroed on this cadence (mirroring the primal side's
+/// refresh-on-invalidation policy).
+const DUAL_REFRESH_INTERVAL: usize = 100;
 
 /// Outcome status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +76,7 @@ pub enum LpStatus {
 /// orthogonal: after a long degenerate run the engine switches to
 /// Bland's rule on exact reduced costs regardless of the configured
 /// pricing rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum PricingRule {
     /// Devex up to [`AUTO_PARTIAL_MIN_COLS`] columns, partial devex
     /// above.
@@ -79,6 +96,24 @@ pub enum PricingRule {
     PartialDevex,
 }
 
+/// Leaving-row pricing rule for the dual simplex (see
+/// [`SimplexConfig::dual_pricing`]). Like the primal rules, every rule
+/// reaches the same optimum; they differ only in pivot counts on
+/// degenerate rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DualPricingRule {
+    /// Currently resolves to [`DualDevex`](Self::DualDevex).
+    #[default]
+    Auto,
+    /// Largest bound violation — the textbook rule and the differential
+    /// baseline. Stalls on degenerate capacity rows where many basics
+    /// share the same violation.
+    Violation,
+    /// Dual devex: maximize `violation² / w_i` with reference-framework
+    /// row weights updated from each pivot's FTRAN direction.
+    DualDevex,
+}
+
 /// Pricing-engine counters for one LP solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PricingStats {
@@ -88,6 +123,26 @@ pub struct PricingStats {
     /// Full scans over every column: reduced-cost refreshes plus
     /// candidate-list rebuilds.
     pub full_rebuilds: usize,
+}
+
+/// Basis-maintenance counters for one LP solve: update counts plus
+/// refactorizations broken down by trigger. `refactors_interval +
+/// refactors_growth + refactors_accuracy` can undercount
+/// `LpResult::refactorizations` by the basis *installs* (cold crash /
+/// warm basis), which are factorizations but not maintenance triggers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BasisStats {
+    /// Successful basis updates (eta pushes, FT column replacements, or
+    /// dense product-form updates).
+    pub updates: usize,
+    /// Refactorizations on the fixed pivot-count interval.
+    pub refactors_interval: usize,
+    /// Refactorizations because accumulated fill (spike length, eta
+    /// entries) outgrew the factorization's nonzeros.
+    pub refactors_growth: usize,
+    /// Refactorizations because an update reported numerical instability
+    /// (singular replacement diagonal, oversized multiplier).
+    pub refactors_accuracy: usize,
 }
 
 /// Result of an LP solve.
@@ -103,10 +158,22 @@ pub struct LpResult {
     /// Row duals `y` from the final pricing pass (meaningful on
     /// `Optimal`; empty when there are no rows or the solve was refused).
     pub duals: Vec<f64>,
-    /// Total simplex iterations across both phases.
+    /// Total simplex iterations across both phases (dual included).
     pub iterations: usize,
+    /// Iterations spent in primal phase 1 (minimizing artificial
+    /// infeasibility). Warm dual re-solves report 0 by construction:
+    /// bound-only changes keep the persisted basis dual feasible, so no
+    /// artificial phase ever runs.
+    pub phase1_iterations: usize,
+    /// Dual-simplex iterations (warm re-solves only).
+    pub dual_iterations: usize,
+    /// True when the dual simplex drove the solve back to primal
+    /// feasibility from a warm basis.
+    pub used_dual_simplex: bool,
     /// Basis (re)factorizations performed.
     pub refactorizations: usize,
+    /// Basis-maintenance counters (see [`BasisStats`]).
+    pub basis_stats: BasisStats,
     /// Pricing-engine counters (see [`PricingStats`]).
     pub pricing: PricingStats,
     /// Optimal basis snapshot (present on `Optimal`), usable to warm-start
@@ -232,10 +299,18 @@ pub enum BasisEngine {
     #[default]
     Auto,
     /// Dense `B⁻¹`, refused beyond [`DENSE_MAX_ROWS`] rows. Kept for
-    /// differential testing against the sparse engine.
+    /// differential testing against the sparse engines.
     Dense,
-    /// Sparse LU factors plus an eta file; no size cap.
+    /// Sparse LU factors maintained with Forrest–Tomlin updates
+    /// ([`crate::lu::FtFactors`]); no size cap. `U` stays genuinely
+    /// triangular across updates, so `btran`/`ftran` residuals stay
+    /// bounded on long pivot sequences.
     SparseLu,
+    /// Sparse LU factors plus a product-form eta file; no size cap.
+    /// The pre-FT update scheme, kept as the differential baseline —
+    /// its accumulated etas lose sparsity and accuracy between
+    /// refactorizations.
+    SparseEta,
 }
 
 /// Tuning knobs for the simplex engine.
@@ -260,6 +335,14 @@ pub struct SimplexConfig {
     pub engine: BasisEngine,
     /// Entering-variable pricing rule (see [`PricingRule`]).
     pub pricing: PricingRule,
+    /// Leaving-row pricing rule for the dual simplex (see
+    /// [`DualPricingRule`]).
+    pub dual_pricing: DualPricingRule,
+    /// Route warm re-solves through the true dual simplex (bound-flip
+    /// ratio test, dual devex). `false` restores the legacy one-row
+    /// repair loop — kept as the warm-primal baseline for benches and
+    /// differential tests.
+    pub warm_dual: bool,
 }
 
 impl Default for SimplexConfig {
@@ -273,6 +356,8 @@ impl Default for SimplexConfig {
             refactor_interval: 200,
             engine: BasisEngine::default(),
             pricing: PricingRule::default(),
+            dual_pricing: DualPricingRule::default(),
+            warm_dual: true,
         }
     }
 }
@@ -303,7 +388,11 @@ pub fn solve_lp(
                 .collect(),
             duals: Vec::new(),
             iterations: 0,
+            phase1_iterations: 0,
+            dual_iterations: 0,
+            used_dual_simplex: false,
             refactorizations: 0,
+            basis_stats: BasisStats::default(),
             pricing: PricingStats::default(),
             basis: None,
             warm_basis_used: false,
@@ -582,6 +671,71 @@ impl SparseBasis {
     }
 }
 
+/// Once the Forrest–Tomlin factors (spike fill plus row-elimination
+/// etas) outgrow the fresh factorization's nonzeros by this factor, a
+/// refactorization is cheaper than dragging the fill along.
+const FT_MAX_FILL_RATIO: f64 = 4.0;
+
+/// Sparse basis with Forrest–Tomlin maintenance: each pivot replaces a
+/// column of `U` in place (spike insertion + row elimination), keeping
+/// `U` genuinely triangular instead of stacking product-form etas.
+struct FtBasis {
+    ft: FtFactors,
+    scratch: Vec<f64>,
+}
+
+impl FtBasis {
+    fn new(m: usize) -> Self {
+        Self {
+            ft: FtFactors::diagonal(&vec![1.0; m]),
+            scratch: vec![0.0; m],
+        }
+    }
+
+    fn reset_diagonal(&mut self, signs: &[f64]) {
+        self.ft = FtFactors::diagonal(signs);
+    }
+
+    fn ftran(&mut self, v: &mut [f64]) {
+        self.ft.ftran(v, &mut self.scratch);
+    }
+
+    fn btran(&mut self, v: &mut [f64]) {
+        self.ft.btran(v, &mut self.scratch);
+    }
+
+    fn rho(&mut self, row: usize, out: &mut [f64]) {
+        // Unlike the eta file, FT's unit BTRAN stays position-pruned
+        // across updates, so the fast path never degrades.
+        self.ft.btran_unit(row, out, &mut self.scratch);
+    }
+
+    fn update(&mut self, row: usize, w: &[f64]) -> Result<(), FtReject> {
+        self.ft.update(row, w)
+    }
+
+    fn refactor(&mut self, cols: &[Vec<(usize, f64)>]) -> bool {
+        match LuFactors::factorize(self.ft.dim(), cols, 1e-12) {
+            Some(lu) => {
+                self.ft = FtFactors::from_lu(lu);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Why a refactorization was triggered (counted in [`BasisStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefactorReason {
+    /// The fixed pivot-count interval elapsed.
+    Interval,
+    /// Accumulated fill outgrew the factorization.
+    Growth,
+    /// An update reported numerical instability.
+    Accuracy,
+}
+
 /// Basis-inverse representation, dispatching to the dense or sparse
 /// engine (see [`BasisEngine`]).
 // One instance lives per simplex solve; the size spread between the
@@ -590,6 +744,7 @@ impl SparseBasis {
 enum BasisRepr {
     Dense(DenseBasis),
     Sparse(SparseBasis),
+    Ft(FtBasis),
 }
 
 impl BasisRepr {
@@ -598,6 +753,7 @@ impl BasisRepr {
         match self {
             BasisRepr::Dense(d) => d.reset_diagonal(signs),
             BasisRepr::Sparse(s) => s.reset_diagonal(signs),
+            BasisRepr::Ft(f) => f.reset_diagonal(signs),
         }
     }
 
@@ -606,6 +762,7 @@ impl BasisRepr {
         match self {
             BasisRepr::Dense(d) => d.ftran(v),
             BasisRepr::Sparse(s) => s.ftran(v),
+            BasisRepr::Ft(f) => f.ftran(v),
         }
     }
 
@@ -614,6 +771,7 @@ impl BasisRepr {
         match self {
             BasisRepr::Dense(d) => d.btran(v),
             BasisRepr::Sparse(s) => s.btran(v),
+            BasisRepr::Ft(f) => f.btran(v),
         }
     }
 
@@ -622,15 +780,35 @@ impl BasisRepr {
         match self {
             BasisRepr::Dense(d) => d.rho(row, out),
             BasisRepr::Sparse(s) => s.rho(row, out),
+            BasisRepr::Ft(f) => f.rho(row, out),
         }
     }
 
-    /// Product-form update after a pivot at slot `row` with direction
-    /// `w = B⁻¹A_q` (dense: rank-one row operations; sparse: eta push).
-    fn update(&mut self, row: usize, w: &[f64]) {
+    /// Basis update after a pivot at slot `row` with direction
+    /// `w = B⁻¹A_q` (dense: rank-one row operations; eta: product-form
+    /// push; FT: in-place column replacement). Returns false when the
+    /// update was rejected as numerically unsafe — the representation is
+    /// untouched and the caller must refactorize before the next solve.
+    fn update(&mut self, row: usize, w: &[f64]) -> bool {
         match self {
-            BasisRepr::Dense(d) => d.update(row, w),
-            BasisRepr::Sparse(s) => s.update(row, w),
+            BasisRepr::Dense(d) => {
+                d.update(row, w);
+                true
+            }
+            BasisRepr::Sparse(s) => {
+                s.update(row, w);
+                true
+            }
+            BasisRepr::Ft(f) => f.update(row, w).is_ok(),
+        }
+    }
+
+    /// Whether accumulated fill has outgrown the representation enough
+    /// that an early refactorization pays for itself.
+    fn fill_exceeded(&self) -> bool {
+        match self {
+            BasisRepr::Dense(_) | BasisRepr::Sparse(_) => false,
+            BasisRepr::Ft(f) => f.ft.update_count() > 0 && f.ft.fill_ratio() > FT_MAX_FILL_RATIO,
         }
     }
 
@@ -640,6 +818,7 @@ impl BasisRepr {
         match self {
             BasisRepr::Dense(d) => d.refactor(cols),
             BasisRepr::Sparse(s) => s.refactor(cols),
+            BasisRepr::Ft(f) => f.refactor(cols),
         }
     }
 }
@@ -666,7 +845,14 @@ struct Simplex<'a> {
     /// Nonbasic-at-upper flag.
     at_upper: Vec<bool>,
     iterations: usize,
+    phase1_iterations: usize,
+    dual_iterations: usize,
+    used_dual_simplex: bool,
     refactorizations: usize,
+    basis_stats: BasisStats,
+    /// Set when a basis update was rejected; forces an accuracy
+    /// refactorization before the next FTRAN/BTRAN is trusted.
+    update_rejected: bool,
     pivots_since_refactor: usize,
     degenerate_run: usize,
     // Scratch buffers.
@@ -676,6 +862,8 @@ struct Simplex<'a> {
     // Pricing engine state (see `select_entering`).
     /// Configured rule with `Auto` resolved at construction.
     rule: PricingRule,
+    /// Configured dual rule with `Auto` resolved at construction.
+    dual_rule: DualPricingRule,
     /// Maintained reduced costs `d_j = c_j − yᵀA_j` for every column.
     d: Vec<f64>,
     /// Whether `d` matches the current basis (up to incremental drift).
@@ -709,10 +897,17 @@ impl<'a> Simplex<'a> {
         up.extend_from_slice(upper);
         lo.extend(std::iter::repeat_n(0.0, m));
         up.extend(std::iter::repeat_n(f64::INFINITY, m));
-        let use_sparse = match config.engine {
-            BasisEngine::Dense => false,
-            BasisEngine::SparseLu => true,
-            BasisEngine::Auto => m > AUTO_DENSE_MAX_ROWS,
+        let repr = match config.engine {
+            BasisEngine::Dense => BasisRepr::Dense(DenseBasis::new(m)),
+            BasisEngine::SparseEta => BasisRepr::Sparse(SparseBasis::new(m)),
+            BasisEngine::SparseLu => BasisRepr::Ft(FtBasis::new(m)),
+            BasisEngine::Auto => {
+                if m > AUTO_DENSE_MAX_ROWS {
+                    BasisRepr::Ft(FtBasis::new(m))
+                } else {
+                    BasisRepr::Dense(DenseBasis::new(m))
+                }
+            }
         };
         let rule = match config.pricing {
             PricingRule::Auto => {
@@ -722,6 +917,10 @@ impl<'a> Simplex<'a> {
                     PricingRule::Devex
                 }
             }
+            explicit => explicit,
+        };
+        let dual_rule = match config.dual_pricing {
+            DualPricingRule::Auto => DualPricingRule::DualDevex,
             explicit => explicit,
         };
         Self {
@@ -735,21 +934,23 @@ impl<'a> Simplex<'a> {
             art_sign: vec![1.0; m],
             basis: vec![0; m],
             position: vec![usize::MAX; total],
-            repr: if use_sparse {
-                BasisRepr::Sparse(SparseBasis::new(m))
-            } else {
-                BasisRepr::Dense(DenseBasis::new(m))
-            },
+            repr,
             x: vec![0.0; total],
             at_upper: vec![false; total],
             iterations: 0,
+            phase1_iterations: 0,
+            dual_iterations: 0,
+            used_dual_simplex: false,
             refactorizations: 0,
+            basis_stats: BasisStats::default(),
+            update_rejected: false,
             pivots_since_refactor: 0,
             degenerate_run: 0,
             y: vec![0.0; m],
             w: vec![0.0; m],
             rho: vec![0.0; m],
             rule,
+            dual_rule,
             d: vec![0.0; total],
             d_valid: false,
             d_fresh: false,
@@ -788,6 +989,7 @@ impl<'a> Simplex<'a> {
                 self.costs[self.n0 + j] = 1.0;
             }
             let status = self.optimize();
+            self.phase1_iterations = self.iterations;
             if status == LpStatus::IterationLimit {
                 return self.finish(LpStatus::IterationLimit);
             }
@@ -849,7 +1051,11 @@ impl<'a> Simplex<'a> {
             values: self.x[..self.n0].to_vec(),
             duals: self.y,
             iterations: self.iterations,
+            phase1_iterations: self.phase1_iterations,
+            dual_iterations: self.dual_iterations,
+            used_dual_simplex: self.used_dual_simplex,
             refactorizations: self.refactorizations,
+            basis_stats: self.basis_stats,
             pricing: self.pricing,
             basis,
             warm_basis_used: false,
@@ -995,12 +1201,47 @@ impl<'a> Simplex<'a> {
                         self.degenerate_run = 0;
                     }
                     self.pivots_since_refactor += 1;
-                    if self.pivots_since_refactor >= self.config.refactor_interval {
-                        self.refactor();
-                    }
+                    self.maintain_basis();
                 }
             }
         }
+    }
+
+    /// Post-pivot basis maintenance: refactorize early when the last
+    /// update was rejected (accuracy) or fill outgrew the factors
+    /// (growth), and on the fixed pivot interval otherwise. Returns
+    /// false only when a needed refactorization failed (singular basis,
+    /// old state kept).
+    fn maintain_basis(&mut self) -> bool {
+        let reason = if self.update_rejected {
+            Some(RefactorReason::Accuracy)
+        } else if self.repr.fill_exceeded() {
+            Some(RefactorReason::Growth)
+        } else if self.pivots_since_refactor >= self.config.refactor_interval {
+            Some(RefactorReason::Interval)
+        } else {
+            None
+        };
+        match reason {
+            Some(r) => self.refactor_for(r),
+            None => true,
+        }
+    }
+
+    /// [`refactor`](Self::refactor) plus per-trigger accounting; clears
+    /// the rejected-update flag on success (the rebuilt factors
+    /// supersede the stale ones).
+    fn refactor_for(&mut self, reason: RefactorReason) -> bool {
+        if !self.refactor() {
+            return false;
+        }
+        self.update_rejected = false;
+        match reason {
+            RefactorReason::Interval => self.basis_stats.refactors_interval += 1,
+            RefactorReason::Growth => self.basis_stats.refactors_growth += 1,
+            RefactorReason::Accuracy => self.basis_stats.refactors_accuracy += 1,
+        }
+        true
     }
 
     fn is_free(&self, j: usize) -> bool {
@@ -1199,6 +1440,23 @@ impl<'a> Simplex<'a> {
     /// column (`α_q` must equal `w[row]`), which signals numerical
     /// drift in the basis representation.
     fn prepare_pivot_row(&mut self, row: usize, q: usize) -> bool {
+        self.scatter_alpha_row(row);
+        let expected = self.w[row];
+        let got = if self.alpha_mark[q] == self.alpha_epoch {
+            self.alpha[q]
+        } else {
+            0.0
+        };
+        expected.abs() > self.config.pivot_tol
+            && (got - expected).abs() <= 1e-7 * (1.0 + expected.abs())
+    }
+
+    /// Scatters the pivot row `ρ = B⁻ᵀe_row` into the α-row workspace:
+    /// `alpha[j] = ρᵀA_j` over every column reachable through the rows
+    /// where ρ is nonzero (found via the matrix's row-major mirror).
+    /// Touched columns are listed in `alpha_cols` and validated against
+    /// the bumped `alpha_epoch`.
+    fn scatter_alpha_row(&mut self, row: usize) {
         self.repr.rho(row, &mut self.rho);
         self.alpha_epoch = self.alpha_epoch.wrapping_add(1);
         let epoch = self.alpha_epoch;
@@ -1226,14 +1484,6 @@ impl<'a> Simplex<'a> {
             }
             self.alpha[art] += self.art_sign[r] * rho_r;
         }
-        let expected = self.w[row];
-        let got = if self.alpha_mark[q] == epoch {
-            self.alpha[q]
-        } else {
-            0.0
-        };
-        expected.abs() > self.config.pivot_tol
-            && (got - expected).abs() <= 1e-7 * (1.0 + expected.abs())
     }
 
     /// Patches reduced costs and devex weights after the pivot that put
@@ -1380,7 +1630,19 @@ impl<'a> Simplex<'a> {
         self.x[q] = from + sigma * t;
         self.basis[row] = q;
         self.position[q] = row;
-        self.repr.update(row, &self.w);
+        self.record_basis_update(row);
+    }
+
+    /// Pushes the pivot direction `self.w` into the basis representation
+    /// and books the outcome: a rejected update (FT instability) flags an
+    /// accuracy refactorization, which [`maintain_basis`](Self::maintain_basis)
+    /// performs before the representation is used again.
+    fn record_basis_update(&mut self, row: usize) {
+        if self.repr.update(row, &self.w) {
+            self.basis_stats.updates += 1;
+        } else {
+            self.update_rejected = true;
+        }
     }
 
     /// Rebuilds the basis representation from the current basis columns
@@ -1501,7 +1763,32 @@ impl<'a> Simplex<'a> {
                 return None;
             }
         }
-        // Dual repair: drive out-of-bounds basics onto their bounds.
+        if self.config.warm_dual {
+            // True dual simplex: the installed basis is dual feasible
+            // after a bound/RHS-only change, so the dual iteration walks
+            // straight back to optimality — zero phase-1 iterations.
+            return match self.dual_optimize() {
+                DualOutcome::PrimalFeasible => {
+                    self.used_dual_simplex = true;
+                    // Primal cleanup certifies optimality (normally zero
+                    // pivots) and leaves fresh duals for the audit.
+                    let status = self.optimize();
+                    let mut result = self.finish(status);
+                    result.warm_basis_used = true;
+                    Some(result)
+                }
+                DualOutcome::Limit => {
+                    self.used_dual_simplex = true;
+                    let mut result = self.finish(LpStatus::IterationLimit);
+                    result.warm_basis_used = true;
+                    Some(result)
+                }
+                DualOutcome::Fallback => None,
+            };
+        }
+        // Legacy warm-primal repair loop (`warm_dual: false`): one
+        // full-recompute dual pivot per violated row, kept as the
+        // baseline the dual simplex is benchmarked against.
         let max_repair = 4 * m + 200;
         for _ in 0..max_repair {
             let Some((row, target, to_upper)) = self.most_violated_basic() else {
@@ -1516,11 +1803,272 @@ impl<'a> Simplex<'a> {
             }
             self.iterations += 1;
             self.pivots_since_refactor += 1;
-            if self.pivots_since_refactor >= self.config.refactor_interval && !self.refactor() {
+            if !self.maintain_basis() {
                 return None;
             }
         }
         None
+    }
+
+    /// Dual simplex to primal feasibility: pick the most violated basic
+    /// row (dual devex weighted), run the bound-flip ratio test over the
+    /// α-row, flip every boxed candidate the violation can absorb with a
+    /// single batched FTRAN, then pivot the first non-flip candidate in.
+    /// Reduced costs are maintained incrementally (the dual step `θ`
+    /// patches them along the α-row) and refreshed periodically.
+    fn dual_optimize(&mut self) -> DualOutcome {
+        let m = self.m;
+        // Dual devex row weights: reference framework = current rows.
+        let mut dw = vec![1.0; m];
+        // Row-space accumulator for batched bound flips.
+        let mut flip_r = vec![0.0; m];
+        let mut flips: Vec<(usize, f64)> = Vec::new();
+        let mut cands: Vec<(u32, f64)> = Vec::new();
+        self.d_valid = false;
+        let mut pivots_since_refresh = 0usize;
+        let mut consecutive_failures = 0usize;
+        let mut dual_pivots = 0usize;
+        let stall_cap = 10 * m + 1000;
+        loop {
+            if self.iterations >= self.config.max_iterations {
+                return DualOutcome::Limit;
+            }
+            if dual_pivots > stall_cap {
+                // A bound patch should never need this many pivots; a
+                // cold solve is the safer bet than riding degeneracy.
+                return DualOutcome::Fallback;
+            }
+            if self.iterations.is_multiple_of(32) {
+                if let Some(deadline) = self.config.deadline {
+                    if std::time::Instant::now() > deadline {
+                        return DualOutcome::Limit;
+                    }
+                }
+            }
+            if !self.d_valid {
+                self.refresh_reduced_costs();
+                pivots_since_refresh = 0;
+            }
+            let Some((row, target, to_upper)) = self.select_leaving(&dw) else {
+                return DualOutcome::PrimalFeasible;
+            };
+            let leaving = self.basis[row];
+            // σ orients the violation: +1 above the upper bound (the
+            // basic must decrease), −1 below the lower bound.
+            let sigma = if to_upper { 1.0 } else { -1.0 };
+            self.scatter_alpha_row(row);
+            // Dual ratio test candidates: nonbasic columns whose feasible
+            // move direction pushes the leaving variable toward `target`,
+            // ranked by how soon their reduced cost hits zero.
+            cands.clear();
+            for idx in 0..self.alpha_cols.len() {
+                let cj = self.alpha_cols[idx];
+                let j = cj as usize;
+                if self.position[j] != usize::MAX || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let a_hat = sigma * self.alpha[j];
+                let eligible = if self.is_free(j) {
+                    a_hat.abs() > self.config.pivot_tol
+                } else if self.at_upper[j] {
+                    a_hat < -self.config.pivot_tol
+                } else {
+                    a_hat > self.config.pivot_tol
+                };
+                if !eligible {
+                    continue;
+                }
+                // Dual feasibility keeps d_j/α̂_j ≥ 0 up to drift.
+                let ratio = (self.d[j] / a_hat).max(0.0);
+                cands.push((cj, ratio));
+            }
+            if cands.is_empty() {
+                // No entering candidate: the row certifies primal
+                // infeasibility — but after an incremental patch the warm
+                // path plays it safe and lets the cold solve prove it.
+                return DualOutcome::Fallback;
+            }
+            cands.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+            // Bound-flip (long-step) ratio test: a boxed candidate whose
+            // full flip leaves the row still violated gets flipped
+            // instead of entering, and the walk continues into the next
+            // dual ratio — one pivot absorbs a whole run of degenerate
+            // breakpoints.
+            let mut remaining = (self.x[leaving] - target).abs();
+            flips.clear();
+            let mut entering: Option<usize> = None;
+            for (k, &(cj, ratio)) in cands.iter().enumerate() {
+                let j = cj as usize;
+                let a_hat = sigma * self.alpha[j];
+                let range = self.upper[j] - self.lower[j];
+                if range.is_finite() && remaining > a_hat.abs() * range + self.config.feas_tol {
+                    // Flip: x_j jumps to its opposite bound, absorbing
+                    // |α̂_j|·range of the violation.
+                    let delta = if self.at_upper[j] { -range } else { range };
+                    flips.push((j, delta));
+                    remaining -= a_hat.abs() * range;
+                } else {
+                    // Degenerate ties are the common case after a bound
+                    // patch; break them toward the largest |α̂| — the
+                    // most stable pivot, and the same rule the primal
+                    // repair path uses, so both land on the same vertex.
+                    let mut best_j = j;
+                    let mut best_a = a_hat.abs();
+                    for &(cj2, ratio2) in &cands[k + 1..] {
+                        if ratio2 > ratio + 1e-12 {
+                            break;
+                        }
+                        let j2 = cj2 as usize;
+                        let a2 = (sigma * self.alpha[j2]).abs();
+                        let range2 = self.upper[j2] - self.lower[j2];
+                        if range2.is_finite() && remaining > a2 * range2 + self.config.feas_tol {
+                            continue;
+                        }
+                        if a2 > best_a {
+                            best_a = a2;
+                            best_j = j2;
+                        }
+                    }
+                    entering = Some(best_j);
+                    break;
+                }
+            }
+            let Some(q) = entering else {
+                // Every candidate flipped yet violation remains: no
+                // entering column bounds the dual step. Fall back.
+                return DualOutcome::Fallback;
+            };
+            // FTRAN the entering column and cross-check the α-row
+            // *before* mutating any state, so a drift-retry is clean.
+            self.compute_direction(q);
+            let w_r = self.w[row];
+            let expected = self.alpha[q];
+            if w_r.abs() <= self.config.pivot_tol
+                || (w_r - expected).abs() > 1e-7 * (1.0 + expected.abs())
+            {
+                // Representation drift: refactorize, refresh, retry.
+                consecutive_failures += 1;
+                if consecutive_failures > 2 || !self.refactor_for(RefactorReason::Accuracy) {
+                    return DualOutcome::Fallback;
+                }
+                continue;
+            }
+            consecutive_failures = 0;
+            // Apply all flips with one batched FTRAN: x_B -= B⁻¹(Σ A_jΔ_j).
+            if !flips.is_empty() {
+                flip_r.iter_mut().for_each(|v| *v = 0.0);
+                for &(j, delta) in &flips {
+                    self.sf.matrix.scatter_column(j, delta, &mut flip_r);
+                }
+                self.repr.ftran(&mut flip_r);
+                for (i, &fr) in flip_r.iter().enumerate().take(m) {
+                    let b = self.basis[i];
+                    self.x[b] -= fr;
+                }
+                for &(j, _) in &flips {
+                    self.at_upper[j] = !self.at_upper[j];
+                    self.x[j] = if self.at_upper[j] {
+                        self.upper[j]
+                    } else {
+                        self.lower[j]
+                    };
+                }
+            }
+            // Dual step θ = d_q/α̂_q ≥ 0; primal step lands the leaving
+            // variable exactly on its violated bound.
+            let a_hat_q = sigma * w_r;
+            let theta = (self.d[q] / a_hat_q).max(0.0);
+            let delta_q = (self.x[leaving] - target) / w_r;
+            for i in 0..m {
+                let b = self.basis[i];
+                self.x[b] -= delta_q * self.w[i];
+            }
+            self.x[leaving] = target;
+            self.at_upper[leaving] = to_upper;
+            self.position[leaving] = usize::MAX;
+            self.x[q] += delta_q;
+            self.basis[row] = q;
+            self.position[q] = row;
+            // Reduced costs move along the α-row: d'_j = d_j − θ·σ·α_j.
+            if theta != 0.0 {
+                for idx in 0..self.alpha_cols.len() {
+                    let j = self.alpha_cols[idx] as usize;
+                    if j == q || self.position[j] != usize::MAX {
+                        continue;
+                    }
+                    self.d[j] -= theta * sigma * self.alpha[j];
+                }
+            }
+            self.d[q] = 0.0;
+            self.d[leaving] = -theta * sigma;
+            self.d_fresh = false;
+            // Dual devex weight update from the FTRAN direction.
+            if self.dual_rule != DualPricingRule::Violation {
+                let a = w_r;
+                let gamma_r = dw[row];
+                let mut exploded = false;
+                for (i, wgt) in dw.iter_mut().enumerate() {
+                    if i == row {
+                        continue;
+                    }
+                    let w_i = self.w[i];
+                    if w_i != 0.0 {
+                        let cand = (w_i / a) * (w_i / a) * gamma_r;
+                        if cand > *wgt {
+                            *wgt = cand;
+                            exploded |= cand > 1e12;
+                        }
+                    }
+                }
+                dw[row] = (gamma_r / (a * a)).max(1.0);
+                exploded |= dw[row] > 1e12;
+                if exploded {
+                    dw.iter_mut().for_each(|v| *v = 1.0);
+                }
+            }
+            self.record_basis_update(row);
+            self.iterations += 1;
+            self.dual_iterations += 1;
+            dual_pivots += 1;
+            pivots_since_refresh += 1;
+            self.pivots_since_refactor += 1;
+            if !self.maintain_basis() {
+                return DualOutcome::Fallback;
+            }
+            if pivots_since_refresh >= DUAL_REFRESH_INTERVAL {
+                // The incremental d-patches drift; refresh before they
+                // can misrank the dual ratio test.
+                self.d_valid = false;
+            }
+        }
+    }
+
+    /// Dual pricing: the leaving row. `Violation` takes the largest
+    /// bound violation; `DualDevex` weights it by the reference
+    /// framework (`violation²/w_i`), which spreads pivots across
+    /// degenerate capacity rows instead of hammering one.
+    fn select_leaving(&self, dw: &[f64]) -> Option<(usize, f64, bool)> {
+        let mut best: Option<(usize, f64, bool, f64)> = None;
+        for (i, &dw_i) in dw.iter().enumerate().take(self.m) {
+            let b = self.basis[i];
+            let x = self.x[b];
+            let (viol, target, to_upper) = if x < self.lower[b] - self.config.feas_tol {
+                (self.lower[b] - x, self.lower[b], false)
+            } else if x > self.upper[b] + self.config.feas_tol {
+                (x - self.upper[b], self.upper[b], true)
+            } else {
+                continue;
+            };
+            let merit = match self.dual_rule {
+                DualPricingRule::Violation => viol,
+                _ => viol * viol / dw_i,
+            };
+            match best {
+                Some((_, _, _, bm)) if bm >= merit => {}
+                _ => best = Some((i, target, to_upper, merit)),
+            }
+        }
+        best.map(|(i, t, u, _)| (i, t, u))
     }
 
     /// The basic variable furthest outside its bounds, with the bound it
@@ -1613,9 +2161,22 @@ impl<'a> Simplex<'a> {
         self.x[q] += delta;
         self.basis[row] = q;
         self.position[q] = row;
-        self.repr.update(row, &self.w);
+        self.record_basis_update(row);
         true
     }
+}
+
+/// Outcome of a [`Simplex::dual_optimize`] run.
+enum DualOutcome {
+    /// Primal feasibility restored; a primal cleanup certifies
+    /// optimality (normally with zero further pivots).
+    PrimalFeasible,
+    /// The dual iteration cannot proceed safely (no entering candidate,
+    /// repeated representation drift, stall): the caller falls back to
+    /// a cold two-phase solve, which is always correct.
+    Fallback,
+    /// Iteration or deadline budget exhausted mid-repair.
+    Limit,
 }
 
 /// Outcome of the ratio test.
@@ -1887,24 +2448,27 @@ mod tests {
         };
         for (model, expected) in fixtures {
             let dense = lp_with(&model, BasisEngine::Dense);
-            let sparse = lp_with(&model, BasisEngine::SparseLu);
-            assert_eq!(dense.status, expected);
-            assert_eq!(sparse.status, expected);
-            if expected == LpStatus::Optimal {
-                assert!(
-                    (dense.objective - sparse.objective).abs() < 1e-8,
-                    "dense {} vs sparse {}",
-                    dense.objective,
-                    sparse.objective
-                );
+            for engine in [BasisEngine::SparseLu, BasisEngine::SparseEta] {
+                let sparse = lp_with(&model, engine);
+                assert_eq!(dense.status, expected);
+                assert_eq!(sparse.status, expected, "{engine:?}");
+                if expected == LpStatus::Optimal {
+                    assert!(
+                        (dense.objective - sparse.objective).abs() < 1e-8,
+                        "dense {} vs {engine:?} {}",
+                        dense.objective,
+                        sparse.objective
+                    );
+                }
             }
         }
     }
 
-    /// With an effectively infinite refactor interval the sparse engine
-    /// runs on eta updates alone; the answer must not drift.
+    /// With an effectively infinite refactor interval the sparse engines
+    /// run on updates alone (Forrest–Tomlin for `SparseLu`, product-form
+    /// etas for `SparseEta`); the answer must not drift.
     #[test]
-    fn sparse_eta_only_path_is_exact() {
+    fn sparse_update_only_path_is_exact() {
         let mut m = Model::new();
         let n = 12;
         let vars: Vec<_> = (0..n)
@@ -1920,16 +2484,28 @@ mod tests {
         }
         m.set_objective(LinExpr::sum(vars.iter().map(|v| (*v, -1.0))));
         let sf = StandardForm::from_model(&m);
-        let eta_only = SimplexConfig {
-            refactor_interval: usize::MAX,
-            engine: BasisEngine::SparseLu,
-            ..SimplexConfig::default()
-        };
-        let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &eta_only);
         let reference = lp(&m);
-        assert_eq!(r.status, LpStatus::Optimal);
-        assert!((r.objective - reference.objective).abs() < 1e-7);
-        assert_eq!(r.refactorizations, 0, "eta-only run must never refactor");
+        for engine in [BasisEngine::SparseLu, BasisEngine::SparseEta] {
+            let update_only = SimplexConfig {
+                refactor_interval: usize::MAX,
+                engine,
+                ..SimplexConfig::default()
+            };
+            let r = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &update_only);
+            assert_eq!(r.status, LpStatus::Optimal, "{engine:?}");
+            assert!(
+                (r.objective - reference.objective).abs() < 1e-7,
+                "{engine:?}"
+            );
+            assert_eq!(
+                r.refactorizations, 0,
+                "{engine:?}: update-only run must never refactor"
+            );
+            assert!(
+                r.basis_stats.updates > 0,
+                "{engine:?}: updates must be counted"
+            );
+        }
     }
 
     /// Warm-started re-solves on the sparse engine agree with cold ones.
@@ -1972,7 +2548,11 @@ mod tests {
             basis: vec![0, 1],
             at_upper: vec![false, false],
         };
-        for engine in [BasisEngine::Dense, BasisEngine::SparseLu] {
+        for engine in [
+            BasisEngine::Dense,
+            BasisEngine::SparseLu,
+            BasisEngine::SparseEta,
+        ] {
             let cfg = SimplexConfig {
                 engine,
                 ..SimplexConfig::default()
@@ -2134,5 +2714,217 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A bound-only change re-solved from the persisted basis must go
+    /// through the dual simplex with **zero** phase-1 iterations — the
+    /// tentpole property of the warm re-solve hot path — and agree with
+    /// the cold answer.
+    #[test]
+    fn warm_bound_patch_uses_dual_simplex_with_zero_phase1() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 8.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 8.0);
+        let z = m.add_var("z", VarType::Continuous, 0.0, 8.0);
+        m.add_constraint("a", 1.0 * x + 2.0 * y + 1.0 * z, Sense::Le, 12.0);
+        m.add_constraint("b", 3.0 * x + 1.0 * y, Sense::Le, 15.0);
+        m.add_constraint("c", 1.0 * y + 2.0 * z, Sense::Le, 10.0);
+        m.set_objective(-2.0 * x - 3.0 * y - 1.0 * z);
+        let sf = StandardForm::from_model(&m);
+        for engine in [
+            BasisEngine::Dense,
+            BasisEngine::SparseLu,
+            BasisEngine::SparseEta,
+        ] {
+            let cfg = SimplexConfig {
+                engine,
+                ..SimplexConfig::default()
+            };
+            let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+            assert_eq!(base.status, LpStatus::Optimal, "{engine:?}");
+            // Tighten a bound that cuts off the old optimum.
+            let mut up = sf.upper.clone();
+            up[0] = 1.0;
+            let cold = solve_lp(&sf, &sf.lower.clone(), &up, &cfg);
+            let warm = solve_lp_warm(&sf, &sf.lower.clone(), &up, &cfg, base.basis.as_ref());
+            assert_eq!(warm.status, cold.status, "{engine:?}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-7,
+                "{engine:?}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(warm.warm_basis_used, "{engine:?}");
+            assert!(warm.used_dual_simplex, "{engine:?}");
+            assert_eq!(
+                warm.phase1_iterations, 0,
+                "{engine:?}: dual re-solve must skip phase 1"
+            );
+        }
+    }
+
+    /// RHS-only changes preserve dual feasibility too: the dual simplex
+    /// re-solves a perturbed-capacity LP from the old basis exactly.
+    #[test]
+    fn warm_rhs_patch_resolves_via_dual() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x), Sense::Le, 4.0);
+        m.add_constraint("c2", 2.0 * y, Sense::Le, 12.0);
+        m.add_constraint("c3", 3.0 * x + 2.0 * y, Sense::Le, 18.0);
+        m.set_objective(-3.0 * x - 5.0 * y);
+        let mut sf = StandardForm::from_model(&m);
+        let cfg = SimplexConfig::default();
+        let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        assert_eq!(base.status, LpStatus::Optimal);
+        // Shrink two capacities in place (what `Model::set_rhs` patches).
+        sf.rhs[0] = 3.0;
+        sf.rhs[2] = 14.0;
+        let cold = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        let warm = solve_lp_warm(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &cfg,
+            base.basis.as_ref(),
+        );
+        assert_eq!(warm.status, cold.status);
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+        assert!(warm.used_dual_simplex);
+        assert_eq!(warm.phase1_iterations, 0);
+    }
+
+    /// `warm_dual: false` restores the legacy warm-primal repair loop;
+    /// both warm paths and the cold solve agree on the fixtures.
+    #[test]
+    fn legacy_warm_primal_path_still_agrees() {
+        let mut m = Model::new();
+        let x = m.add_var("x", VarType::Continuous, 0.0, 8.0);
+        let y = m.add_var("y", VarType::Continuous, 0.0, 8.0);
+        m.add_constraint("a", 1.0 * x + 2.0 * y, Sense::Le, 10.0);
+        m.add_constraint("b", 3.0 * x + 1.0 * y, Sense::Le, 15.0);
+        m.set_objective(-2.0 * x - 3.0 * y);
+        let sf = StandardForm::from_model(&m);
+        let base = solve_lp(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &SimplexConfig::default(),
+        );
+        let mut up = sf.upper.clone();
+        up[0] = 2.0;
+        let cold = solve_lp(&sf, &sf.lower.clone(), &up, &SimplexConfig::default());
+        for warm_dual in [true, false] {
+            let cfg = SimplexConfig {
+                warm_dual,
+                ..SimplexConfig::default()
+            };
+            let warm = solve_lp_warm(&sf, &sf.lower.clone(), &up, &cfg, base.basis.as_ref());
+            assert_eq!(warm.status, cold.status, "warm_dual={warm_dual}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-7,
+                "warm_dual={warm_dual}"
+            );
+            assert_eq!(
+                warm.used_dual_simplex, warm_dual,
+                "dual flag must track the configured path"
+            );
+        }
+    }
+
+    /// Both dual pricing rules land on the same optimum after a bound
+    /// patch (they may take different pivot sequences).
+    #[test]
+    fn dual_pricing_rules_agree() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 4.0))
+            .collect();
+        for i in 0..6 {
+            m.add_constraint(
+                format!("r{i}"),
+                1.0 * vars[i] + 2.0 * vars[i + 1] + 1.0 * vars[i + 2],
+                Sense::Le,
+                7.0 + (i % 3) as f64,
+            );
+        }
+        m.set_objective(LinExpr::sum(
+            vars.iter().enumerate().map(|(i, v)| (*v, -1.0 - i as f64)),
+        ));
+        let sf = StandardForm::from_model(&m);
+        let base = solve_lp(
+            &sf,
+            &sf.lower.clone(),
+            &sf.upper.clone(),
+            &SimplexConfig::default(),
+        );
+        assert_eq!(base.status, LpStatus::Optimal);
+        let mut up = sf.upper.clone();
+        up[1] = 1.0;
+        up[4] = 0.5;
+        let cold = solve_lp(&sf, &sf.lower.clone(), &up, &SimplexConfig::default());
+        for rule in [DualPricingRule::Violation, DualPricingRule::DualDevex] {
+            let cfg = SimplexConfig {
+                dual_pricing: rule,
+                ..SimplexConfig::default()
+            };
+            let warm = solve_lp_warm(&sf, &sf.lower.clone(), &up, &cfg, base.basis.as_ref());
+            assert_eq!(warm.status, cold.status, "{rule:?}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-7,
+                "{rule:?}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert_eq!(warm.phase1_iterations, 0, "{rule:?}");
+        }
+    }
+
+    /// The bound-flip ratio test must handle a patch whose repair is
+    /// absorbed partly by flipping boxed nonbasics: boxed columns with
+    /// small ranges force flips before an entering pivot.
+    #[test]
+    fn dual_bound_flips_reach_the_cold_optimum() {
+        let mut m = Model::new();
+        // Many tightly boxed columns sharing one capacity row: after the
+        // capacity drops, the dual repair must flip several of them.
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Continuous, 0.0, 1.0))
+            .collect();
+        m.add_constraint(
+            "cap",
+            LinExpr::sum(vars.iter().map(|v| (*v, 1.0))),
+            Sense::Le,
+            9.0,
+        );
+        m.set_objective(LinExpr::sum(
+            vars.iter().enumerate().map(|(i, v)| (*v, -1.0 - i as f64)),
+        ));
+        let sf = StandardForm::from_model(&m);
+        let cfg = SimplexConfig::default();
+        let base = solve_lp(&sf, &sf.lower.clone(), &sf.upper.clone(), &cfg);
+        assert_eq!(base.status, LpStatus::Optimal);
+        // Emulate `set_rhs`: capacity 9 → 3 strands six basics' worth of
+        // mass above the new cap.
+        let mut sf2 = sf;
+        sf2.rhs[0] = 3.0;
+        let cold = solve_lp(&sf2, &sf2.lower.clone(), &sf2.upper.clone(), &cfg);
+        let warm = solve_lp_warm(
+            &sf2,
+            &sf2.lower.clone(),
+            &sf2.upper.clone(),
+            &cfg,
+            base.basis.as_ref(),
+        );
+        assert_eq!(warm.status, cold.status);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(warm.used_dual_simplex);
+        assert_eq!(warm.phase1_iterations, 0);
     }
 }

@@ -56,8 +56,32 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Total simplex iterations across all LP solves.
     pub simplex_iterations: usize,
+    /// Primal phase-1 iterations across all LP solves. Zero whenever
+    /// every LP either crashed feasible or re-solved via the dual
+    /// simplex from a warm basis.
+    pub phase1_iterations: usize,
+    /// Dual-simplex iterations across all LP solves (warm re-solves).
+    pub dual_iterations: usize,
+    /// True when at least one LP used the dual-simplex warm path.
+    pub used_dual_simplex: bool,
+    /// Phase-1 iterations of the root LP alone — the number the
+    /// continuous-session gate checks: a bound-only warm round must
+    /// report 0 here.
+    pub root_phase1_iterations: usize,
+    /// True when the root LP re-solved via the dual simplex.
+    pub root_used_dual_simplex: bool,
     /// Total basis (re)factorizations across all LP solves.
     pub lp_refactorizations: usize,
+    /// Successful basis updates (eta pushes / FT column replacements /
+    /// dense product-form updates) across all LP solves.
+    pub basis_updates: usize,
+    /// Refactorizations triggered by the fixed pivot interval.
+    pub refactors_interval: usize,
+    /// Refactorizations triggered by update fill growth (FT spike/eta
+    /// nonzeros outgrowing the fresh factors).
+    pub refactors_growth: usize,
+    /// Refactorizations triggered by a numerically rejected update.
+    pub refactors_accuracy: usize,
     /// Pivots served straight from the partial-pricing candidate list
     /// across all LP solves (see `simplex::PricingStats`).
     pub pricing_candidate_hits: usize,
@@ -98,7 +122,14 @@ impl SolveStats {
     /// Accumulates one LP solve's counters into the MIP-level totals.
     pub fn record_lp(&mut self, lp: &crate::simplex::LpResult) {
         self.simplex_iterations += lp.iterations;
+        self.phase1_iterations += lp.phase1_iterations;
+        self.dual_iterations += lp.dual_iterations;
+        self.used_dual_simplex |= lp.used_dual_simplex;
         self.lp_refactorizations += lp.refactorizations;
+        self.basis_updates += lp.basis_stats.updates;
+        self.refactors_interval += lp.basis_stats.refactors_interval;
+        self.refactors_growth += lp.basis_stats.refactors_growth;
+        self.refactors_accuracy += lp.basis_stats.refactors_accuracy;
         self.pricing_candidate_hits += lp.pricing.candidate_hits;
         self.pricing_full_rebuilds += lp.pricing.full_rebuilds;
     }
@@ -119,6 +150,16 @@ pub struct SolveConfig {
     pub int_tol: f64,
     /// Simplex pivot limit per LP.
     pub max_lp_iterations: usize,
+    /// Entering-variable pricing rule for every LP in the search (see
+    /// [`crate::simplex::PricingRule`]).
+    pub pricing: crate::simplex::PricingRule,
+    /// Leaving-row pricing rule for dual-simplex warm re-solves (see
+    /// [`crate::simplex::DualPricingRule`]).
+    pub dual_pricing: crate::simplex::DualPricingRule,
+    /// Route warm re-solves through the true dual simplex; `false`
+    /// restores the legacy warm-primal repair loop (the benchmark
+    /// baseline).
+    pub warm_dual: bool,
     /// Stop once an incumbent exists and the best bound has not improved
     /// for this many consecutive nodes (0 disables). Mirrors how
     /// production deployments cut losses on symmetric plateaus instead of
@@ -152,6 +193,9 @@ impl Default for SolveConfig {
             abs_gap_tol: 1e-6,
             int_tol: 1e-6,
             max_lp_iterations: 200_000,
+            pricing: crate::simplex::PricingRule::default(),
+            dual_pricing: crate::simplex::DualPricingRule::default(),
+            warm_dual: true,
             stall_node_limit: 0,
             use_heuristics: true,
             initial_incumbent: None,

@@ -70,6 +70,11 @@ pub struct SolverParams {
     /// builds only; production runs opt in with [`AuditMode::On`] to
     /// certify every warm round against the same invariants as cold ones.
     pub audit: AuditMode,
+    /// Route warm re-solves through the true dual simplex (bound-only
+    /// round diffs then re-solve with zero phase-1 iterations). `false`
+    /// restores the legacy warm-primal repair loop; kept as the
+    /// benchmark baseline, not a production setting.
+    pub warm_dual: bool,
 }
 
 impl Default for SolverParams {
@@ -93,6 +98,7 @@ impl Default for SolverParams {
             phase1_granularity: Granularity::Msb,
             shards: 1,
             audit: AuditMode::Auto,
+            warm_dual: true,
         }
     }
 }

@@ -78,6 +78,19 @@ pub struct WarmReport {
     pub basis_remapped: bool,
     /// The root LP actually started from the warm basis (no fallback).
     pub warm_basis_accepted: bool,
+    /// The round's skeleton diff was bounds/RHS-only (a reused model,
+    /// at most patched in place) — exactly the diffs that keep the
+    /// persisted basis dual feasible, so the session routes them to the
+    /// dual simplex.
+    pub bounds_only_patch: bool,
+    /// The root LP re-solved via the dual simplex (no phase 1 at all).
+    pub dual_resolve: bool,
+    /// Primal phase-1 iterations of the root LP. Must be 0 whenever a
+    /// bounds-only round's warm basis was accepted — `fig_continuous`
+    /// gates on exactly this.
+    pub root_phase1_iterations: usize,
+    /// Dual-simplex iterations across all of the round's LP solves.
+    pub dual_iterations: usize,
     /// Branch-and-bound installed a supplied incumbent before searching.
     pub incumbent_seeded: bool,
     /// A previous-round target seed was offered to the solver.
@@ -248,6 +261,10 @@ impl SolveSession {
         let (ras, prev) = match cache {
             Some(mut c) if skeleton_reusable => {
                 report.model_reused = true;
+                // A reused skeleton can only have drifted in bounds, RHS
+                // and the objective constant — the diff class whose warm
+                // basis stays dual feasible.
+                report.bounds_only_patch = true;
                 let drifted: Vec<usize> = classes
                     .iter()
                     .enumerate()
@@ -327,6 +344,9 @@ impl SolveSession {
         let warm = (!warm.is_empty()).then_some(warm);
         let result = solve_prepared(region, specs, &classes, &ras, params, false, warm)?;
         report.warm_basis_accepted = result.solution.stats.warm_basis_accepted;
+        report.dual_resolve = result.solution.stats.root_used_dual_simplex;
+        report.root_phase1_iterations = result.solution.stats.root_phase1_iterations;
+        report.dual_iterations = result.solution.stats.dual_iterations;
         report.incumbent_seeded = result.solution.stats.incumbent_seeded;
         report.nodes_pruned_by_seed = result.solution.stats.nodes_pruned_by_seed;
 

@@ -829,6 +829,10 @@ fn aggregate_warm(round: usize, shards: &[ShardReport]) -> WarmReport {
         warm_basis_supplied: all(|w| w.warm_basis_supplied),
         basis_remapped: any(|w| w.basis_remapped),
         warm_basis_accepted: all(|w| w.warm_basis_accepted),
+        bounds_only_patch: all(|w| w.bounds_only_patch),
+        dual_resolve: all(|w| w.dual_resolve),
+        root_phase1_iterations: shards.iter().map(|s| s.warm.root_phase1_iterations).sum(),
+        dual_iterations: shards.iter().map(|s| s.warm.dual_iterations).sum(),
         incumbent_seeded: all(|w| w.incumbent_seeded),
         seed_supplied: all(|w| w.seed_supplied),
         phase2_skipped: all(|w| w.phase2_skipped),
@@ -857,7 +861,16 @@ fn aggregate_phase1(shards: &[ShardReport], objective: f64, wall_seconds: f64) -
         for p in std::iter::once(&s.phase1).chain(s.phase2.as_ref()) {
             mip_stats.nodes += p.mip_stats.nodes;
             mip_stats.simplex_iterations += p.mip_stats.simplex_iterations;
+            mip_stats.phase1_iterations += p.mip_stats.phase1_iterations;
+            mip_stats.dual_iterations += p.mip_stats.dual_iterations;
+            mip_stats.used_dual_simplex |= p.mip_stats.used_dual_simplex;
+            mip_stats.root_phase1_iterations += p.mip_stats.root_phase1_iterations;
+            mip_stats.root_used_dual_simplex |= p.mip_stats.root_used_dual_simplex;
             mip_stats.lp_refactorizations += p.mip_stats.lp_refactorizations;
+            mip_stats.basis_updates += p.mip_stats.basis_updates;
+            mip_stats.refactors_interval += p.mip_stats.refactors_interval;
+            mip_stats.refactors_growth += p.mip_stats.refactors_growth;
+            mip_stats.refactors_accuracy += p.mip_stats.refactors_accuracy;
             mip_stats.pricing_candidate_hits += p.mip_stats.pricing_candidate_hits;
             mip_stats.pricing_full_rebuilds += p.mip_stats.pricing_full_rebuilds;
             mip_stats.solve_seconds = p.mip_stats.solve_seconds.max(mip_stats.solve_seconds);
