@@ -42,31 +42,31 @@ pub fn concretize(
 
     for (ci, class) in classes.iter().enumerate() {
         // Every class member is reassigned from scratch below.
-        let mut unclaimed: Vec<ServerId> = class.servers.clone();
-        for s in &unclaimed {
+        for s in &class.servers {
             targets[s.index()] = None;
         }
-        // Pass 1: keep members already in the right reservation.
-        let mut needs: Vec<(usize, usize)> = Vec::new();
-        for ri in 0..reservations {
-            let mut need = counts[ci].get(ri).copied().unwrap_or(0).min(class.count());
-            if need == 0 {
-                continue;
-            }
-            let res = ReservationId::from_index(ri);
-            if class.current == Some(res) {
-                let keep = need.min(unclaimed.len());
-                for s in unclaimed.drain(..keep) {
-                    targets[s.index()] = Some(res);
+        let mut need: Vec<usize> = (0..reservations)
+            .map(|ri| counts[ci].get(ri).copied().unwrap_or(0).min(class.count()))
+            .collect();
+        // Pass 1: keep members already in a reservation that still wants
+        // them, one walk over the members. (A merged aggregation class
+        // can hold members bound to several reservations; per-server
+        // matching keeps each with its own.)
+        let mut unclaimed: Vec<ServerId> = Vec::with_capacity(class.count());
+        for &s in &class.servers {
+            match snapshot.records[s.index()].current {
+                Some(cur) if need.get(cur.index()).copied().unwrap_or(0) > 0 => {
+                    need[cur.index()] -= 1;
+                    targets[s.index()] = Some(cur);
                 }
-                need -= keep;
-            }
-            if need > 0 {
-                needs.push((ri, need));
+                _ => unclaimed.push(s),
             }
         }
         // Pass 2: fill remaining demand, preferring least-loaded racks.
-        for (ri, need) in needs {
+        for (ri, need) in need.into_iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
             let res = ReservationId::from_index(ri);
             for _ in 0..need {
                 let Some(best_pos) = unclaimed

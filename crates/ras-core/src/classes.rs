@@ -56,20 +56,34 @@ impl EquivClass {
     /// names embed this label so a basis snapshotted in one round can be
     /// matched by name against the next round's model even after classes
     /// appeared, vanished, or were reordered (see `ras_milp::Basis::remap`).
+    /// Labels are built once per [`Reduction`](crate::aggregate::Reduction)
+    /// into an interned table; model build and basis remap reuse that
+    /// table instead of re-deriving a fresh `String` per class per round.
     pub fn label(&self) -> String {
-        fn opt(r: Option<ReservationId>) -> String {
-            r.map_or_else(|| "-".to_string(), |r| r.0.to_string())
+        use std::fmt::Write;
+        fn opt(out: &mut String, r: Option<ReservationId>) {
+            match r {
+                Some(r) => {
+                    let _ = write!(out, "{}", r.0);
+                }
+                None => out.push('-'),
+            }
         }
-        format!(
-            "h{}.m{}.k{}.c{}.t{}.u{}",
-            self.hardware.0,
-            self.msb.0,
-            self.rack
-                .map_or_else(|| "-".to_string(), |r| r.0.to_string()),
-            opt(self.current),
-            opt(self.target),
-            u8::from(self.in_use),
-        )
+        let mut out = String::with_capacity(24);
+        let _ = write!(out, "h{}.m{}.k", self.hardware.0, self.msb.0);
+        match self.rack {
+            Some(r) => {
+                let _ = write!(out, "{}", r.0);
+            }
+            None => out.push('-'),
+        }
+        out.push_str(".c");
+        opt(&mut out, self.current);
+        out.push_str(".t");
+        opt(&mut out, self.target);
+        out.push_str(".u");
+        out.push(if self.in_use { '1' } else { '0' });
+        out
     }
 
     /// The grouping key as a comparable tuple, for cross-round diffing.
@@ -105,6 +119,18 @@ pub fn build_classes(
     granularity: Granularity,
     include: Option<&dyn Fn(ServerId) -> bool>,
 ) -> Vec<EquivClass> {
+    build_classes_counted(region, snapshot, granularity, include).0
+}
+
+/// [`build_classes`] plus the number of servers it excluded as
+/// unplanned-unavailable, so reduction stats can account for the whole
+/// universe instead of dropping those servers silently.
+pub fn build_classes_counted(
+    region: &Region,
+    snapshot: &BrokerSnapshot,
+    granularity: Granularity,
+    include: Option<&dyn Fn(ServerId) -> bool>,
+) -> (Vec<EquivClass>, usize) {
     type Key = (
         u32,                   // hardware
         u32,                   // msb
@@ -114,17 +140,25 @@ pub fn build_classes(
         bool,                  // in_use
     );
     let mut groups: BTreeMap<Key, Vec<ServerId>> = BTreeMap::new();
+    let mut excluded = 0usize;
+    #[cfg(debug_assertions)]
+    let mut universe = 0usize;
     for server in region.servers() {
         if let Some(f) = include {
             if !f(server.id) {
                 continue;
             }
         }
+        #[cfg(debug_assertions)]
+        {
+            universe += 1;
+        }
         let record = snapshot.record(server.id);
         if let Some(event) = &record.unavailability {
             // Unplanned and correlated outages remove the server from the
             // assignable pool; planned maintenance does not.
             if event.kind != UnavailabilityKind::PlannedMaintenance {
+                excluded += 1;
                 continue;
             }
         }
@@ -142,7 +176,7 @@ pub fn build_classes(
         );
         groups.entry(key).or_default().push(server.id);
     }
-    groups
+    let classes: Vec<EquivClass> = groups
         .into_iter()
         .map(|((hw, msb, rack, current, target, in_use), servers)| {
             let probe = region.server(servers[0]);
@@ -157,7 +191,14 @@ pub fn build_classes(
                 in_use,
             }
         })
-        .collect()
+        .collect();
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        total_servers(&classes) + excluded,
+        universe,
+        "every include-filtered server must be classed or counted excluded"
+    );
+    (classes, excluded)
 }
 
 /// Total member count across classes.
@@ -252,6 +293,25 @@ mod tests {
         let keep = |s: ServerId| s.index() < 20;
         let classes = build_classes(&region, &snap, Granularity::Msb, Some(&keep));
         assert_eq!(total_servers(&classes), 20);
+    }
+
+    #[test]
+    fn counted_builder_accounts_for_exclusions() {
+        let (region, mut broker) = setup();
+        let down = ServerId(3);
+        broker
+            .mark_down(UnavailabilityEvent {
+                server: down,
+                kind: UnavailabilityKind::UnplannedHardware,
+                scope: ScopeId::Server(down),
+                start: SimTime::ZERO,
+                expected_end: None,
+            })
+            .unwrap();
+        let snap = broker.snapshot(SimTime::ZERO);
+        let (classes, excluded) = build_classes_counted(&region, &snap, Granularity::Msb, None);
+        assert_eq!(excluded, 1);
+        assert_eq!(total_servers(&classes) + excluded, region.server_count());
     }
 
     #[test]

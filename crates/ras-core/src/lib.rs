@@ -16,6 +16,8 @@
 //! * [`rru`] — relative-resource-unit tables;
 //! * [`params`] — the MIP weights of Table 1 (`Ms`, `β`, `τ`, `αK`, `αF`, `θ`);
 //! * [`classes`] — symmetric-server equivalence-class reduction;
+//! * [`aggregate`] — the two-sided aggregation pipeline (server classes
+//!   plus CvxCluster-style spec clustering) with certified disaggregation;
 //! * [`model`] — the MIP build (Expressions 1–7) with constraint softening;
 //! * [`assign`] — concretization of class counts into per-server targets;
 //! * [`phases`] — the two-phase solve orchestration;
@@ -28,6 +30,7 @@
 //! * [`emergency`] — the out-of-band emergency allocation path;
 //! * [`stats`] — per-phase timing/size breakdowns (Figures 8, 10, 11).
 
+pub mod aggregate;
 pub mod assign;
 pub mod baseline;
 pub mod buffers;
@@ -47,6 +50,9 @@ pub mod solver;
 pub mod stacking;
 pub mod stats;
 
+pub use aggregate::{
+    build_reduction, AggregationLevel, Aggregator, DisaggStats, Reduction, ReductionStats,
+};
 pub use error::CoreError;
 pub use params::SolverParams;
 pub use ras_milp::cast;

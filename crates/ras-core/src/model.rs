@@ -244,6 +244,33 @@ pub fn build_model(
     include_rack_goals: bool,
     soften: Option<&SoftenBaseline>,
 ) -> RasModel {
+    let labels: Vec<String> = classes.iter().map(|c| c.label()).collect();
+    build_model_labeled(
+        region,
+        specs,
+        classes,
+        &labels,
+        params,
+        include_rack_goals,
+        soften,
+    )
+}
+
+/// [`build_model`] with the class labels supplied by the caller — the
+/// aggregation pipeline interns one label table per
+/// [`Reduction`](crate::aggregate::Reduction) and reuses it for model
+/// names and basis remapping instead of re-deriving every label here.
+/// `labels` must be parallel to `classes`.
+pub fn build_model_labeled(
+    region: &Region,
+    specs: &[ReservationSpec],
+    classes: &[EquivClass],
+    labels: &[String],
+    params: &SolverParams,
+    include_rack_goals: bool,
+    soften: Option<&SoftenBaseline>,
+) -> RasModel {
+    debug_assert_eq!(labels.len(), classes.len());
     let mut model = Model::new();
     let mut vars: Vec<Vec<Option<Var>>> = Vec::with_capacity(classes.len());
     let mut assignment_var_count = 0usize;
@@ -255,8 +282,7 @@ pub fn build_model(
     // Assignment variables n[c][r], Expression 5's primitives. Names use
     // the class's key-stable label (not its position) so warm bases can be
     // remapped by name across rounds.
-    for class in classes.iter() {
-        let label = class.label();
+    for (class, label) in classes.iter().zip(labels) {
         let mut row = Vec::with_capacity(specs.len());
         for spec in specs.iter() {
             let eligible = solver_visible(spec) && spec.rru.eligible(class.hardware);
@@ -287,7 +313,7 @@ pub fn build_model(
             supply_rows.push(None);
         } else {
             supply_rows.push(Some(model.add_constraint(
-                format!("supply[{}]", class.label()),
+                format!("supply[{}]", labels[ci]),
                 LinExpr::sum(terms),
                 Sense::Le,
                 class.count() as f64,

@@ -3,6 +3,7 @@
 use ras_milp::AuditMode;
 use serde::{Deserialize, Serialize};
 
+use crate::aggregate::AggregationLevel;
 use crate::classes::Granularity;
 
 /// Weights and limits of the RAS MIP (paper Table 1 and Section 4.6).
@@ -75,6 +76,17 @@ pub struct SolverParams {
     /// restores the legacy warm-primal repair loop; kept as the
     /// benchmark baseline, not a production setting.
     pub warm_dual: bool,
+    /// How aggressively solves aggregate before the MIP (see
+    /// [`crate::aggregate`]). [`AggregationLevel::Classes`] is today's
+    /// behavior (the paper's symmetric-server classes);
+    /// [`AggregationLevel::Clusters`] additionally merges reservations
+    /// with identical hardware-fungibility footprints, CvxCluster-style.
+    pub aggregation: AggregationLevel,
+    /// At [`AggregationLevel::Clusters`], solve the unreduced
+    /// (`Classes`-level) model every N session rounds and compare plan
+    /// objectives — the exact-model ratchet bounding aggregation drift.
+    /// 0 disables the ratchet.
+    pub exact_ratchet_interval: usize,
 }
 
 impl Default for SolverParams {
@@ -99,6 +111,8 @@ impl Default for SolverParams {
             shards: 1,
             audit: AuditMode::Auto,
             warm_dual: true,
+            aggregation: AggregationLevel::Classes,
+            exact_ratchet_interval: 4,
         }
     }
 }
@@ -121,5 +135,7 @@ mod tests {
         assert!(p.soften_penalty > p.move_cost_in_use);
         assert!(p.stability_bonus < p.move_cost_unused);
         assert_eq!(p.phase2_reservation_fraction, 0.10);
+        assert_eq!(p.aggregation, AggregationLevel::Classes);
+        assert!(p.exact_ratchet_interval > 0);
     }
 }

@@ -14,10 +14,11 @@ use ras_broker::{BrokerSnapshot, ReservationId};
 use ras_milp::{SolveConfig, SolveError, WarmStart};
 use ras_topology::{Region, ServerId};
 
+use crate::aggregate::{build_reduction, ReductionStats};
 use crate::assign::concretize;
-use crate::classes::{build_classes, EquivClass, Granularity};
+use crate::classes::{EquivClass, Granularity};
 use crate::error::CoreError;
-use crate::model::{build_model, soften_baseline, solver_visible, RasModel};
+use crate::model::{build_model_labeled, soften_baseline, solver_visible, RasModel};
 use crate::params::SolverParams;
 use crate::reservation::{ReservationKind, ReservationSpec};
 use crate::session::SolveSession;
@@ -182,10 +183,12 @@ pub(crate) struct PhaseSolveResult {
 /// [`run_phase`] and the warm-started [`SolveSession`] round: the session
 /// supplies a previous-round basis and seed incumbent (via
 /// [`WarmStart`]), the stateless path supplies neither.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_prepared(
     region: &Region,
     specs: &[ReservationSpec],
     classes: &[EquivClass],
+    labels: &[String],
     ras: &RasModel,
     params: &SolverParams,
     rack_goals: bool,
@@ -222,7 +225,15 @@ pub(crate) fn solve_prepared(
         // rule: a basis never crosses a structural rebuild un-remapped.
         let soften_start = Instant::now();
         let baseline = soften_baseline(region, specs, classes);
-        let soft_ras = build_model(region, specs, classes, params, rack_goals, Some(&baseline));
+        let soft_ras = build_model_labeled(
+            region,
+            specs,
+            classes,
+            labels,
+            params,
+            rack_goals,
+            Some(&baseline),
+        );
         extra_build_seconds = soften_start.elapsed().as_secs_f64();
         config.initial_incumbent = Some(best_incumbent(&soft_ras, region, specs, classes, params));
         config.warm_start = None;
@@ -266,7 +277,7 @@ pub(crate) fn solve_prepared(
 pub(crate) fn make_stats(
     phase_start: Instant,
     ras_build_seconds: f64,
-    classes: usize,
+    reduction: ReductionStats,
     result: &PhaseSolveResult,
 ) -> PhaseStats {
     PhaseStats {
@@ -276,12 +287,13 @@ pub(crate) fn make_stats(
         mip_seconds: result.solution.stats.mip_seconds,
         total_seconds: phase_start.elapsed().as_secs_f64(),
         assignment_vars: result.assignment_vars,
-        classes,
+        classes: reduction.classes,
         memory_bytes: result.memory_bytes,
         mip_stats: result.solution.stats.clone(),
         softened: result.softened.clone(),
         status: result.solution.status,
         objective: result.solution.objective + result.objective_constant,
+        reduction,
     }
 }
 
@@ -305,14 +317,46 @@ pub fn run_phase(
     let filter_dyn: Option<&dyn Fn(ServerId) -> bool> =
         filter.as_ref().map(|f| f as &dyn Fn(ServerId) -> bool);
 
+    // Rack-granularity (phase-2) solves never cluster specs: their
+    // universe and visibility change every round, so aggregate identities
+    // would churn for no reuse benefit.
+    let level = match granularity {
+        Granularity::Rack => params.aggregation.without_spec_clusters(),
+        Granularity::Msb => params.aggregation,
+    };
     let build_start = Instant::now();
-    let classes = build_classes(region, snapshot, granularity, filter_dyn);
-    let ras = build_model(region, specs, &classes, params, rack_goals, None);
+    let reduction = build_reduction(region, snapshot, specs, granularity, level, filter_dyn);
+    let ras = build_model_labeled(
+        region,
+        &reduction.specs,
+        &reduction.classes,
+        &reduction.labels,
+        params,
+        rack_goals,
+        None,
+    );
     let ras_build_seconds = build_start.elapsed().as_secs_f64();
 
-    let result = solve_prepared(region, specs, &classes, &ras, params, rack_goals, None)?;
-    let targets = concretize(region, snapshot, &classes, &result.counts, specs.len());
-    let stats = make_stats(phase_start, ras_build_seconds, classes.len(), &result);
+    let result = solve_prepared(
+        region,
+        &reduction.specs,
+        &reduction.classes,
+        &reduction.labels,
+        &ras,
+        params,
+        rack_goals,
+        None,
+    )?;
+    let disaggregated;
+    let counts: &[Vec<usize>] = if reduction.has_clusters() {
+        let (full, _disagg) = reduction.disaggregate_counts(snapshot, specs, &result.counts);
+        disaggregated = full;
+        &disaggregated
+    } else {
+        &result.counts
+    };
+    let targets = concretize(region, snapshot, &reduction.classes, counts, specs.len());
+    let stats = make_stats(phase_start, ras_build_seconds, reduction.stats, &result);
     Ok((targets, stats))
 }
 

@@ -52,13 +52,14 @@ use ras_milp::{Basis, WarmStart};
 use ras_topology::{Region, ServerId};
 use serde::{Deserialize, Serialize};
 
+use crate::aggregate::{build_reduction, AggregationLevel, Reduction};
 use crate::assign::concretize;
-use crate::classes::{build_classes, EquivClass};
 use crate::error::CoreError;
-use crate::model::{build_model, current_counts, movement_constant, RasModel};
+use crate::model::{build_model_labeled, current_counts, movement_constant, RasModel};
 use crate::params::SolverParams;
-use crate::phases::{make_stats, refine_with_phase2, solve_prepared, TwoPhaseOutcome};
+use crate::phases::{make_stats, refine_with_phase2, run_phase, solve_prepared, TwoPhaseOutcome};
 use crate::reservation::ReservationSpec;
+use crate::shard::{evaluate_targets, sharded_tolerance};
 
 /// What warm-start machinery did in one session round (the observability
 /// half of the continuous pipeline — `fig_continuous` prints these).
@@ -104,6 +105,34 @@ pub struct WarmReport {
     /// Nodes pruned against the seeded incumbent before any better
     /// solution was found.
     pub nodes_pruned_by_seed: usize,
+    /// Multi-member spec clusters the aggregation pipeline formed.
+    pub spec_clusters: usize,
+    /// Reduced spec count the model was built over.
+    pub reduced_specs: usize,
+    /// Assignment variables the `Classes`-level model would have had.
+    pub agg_vars_full: usize,
+    /// Assignment variables of the reduced model actually built.
+    pub agg_vars_reduced: usize,
+    /// Servers the class builder excluded as unplanned-unavailable.
+    pub excluded_servers: usize,
+    /// Single-server transfers disaggregation's capacity repair made.
+    pub disagg_repair_moves: usize,
+    /// Units disaggregation assigned to the member whose servers
+    /// already run them (stays honored instead of reshuffled).
+    pub disagg_stays_honored: usize,
+    /// Extra servers disaggregation pulled from free class supply to
+    /// cover shortfall its internal repair could not fix.
+    pub disagg_topup_units: usize,
+    /// Residual RRU shortfall after disaggregation repair (0.0 = clean).
+    pub disagg_shortfall_rru: f64,
+    /// This round ran the exact-model ratchet (unreduced re-solve).
+    pub ratchet_checked: bool,
+    /// Aggregated-plan objective minus exact-plan objective (only
+    /// meaningful when `ratchet_checked`).
+    pub ratchet_gap: f64,
+    /// The ratchet found the aggregated plan within tolerance of the
+    /// exact plan and capacity-feasible.
+    pub ratchet_ok: bool,
 }
 
 /// Per-round state carried to the next solve.
@@ -113,8 +142,9 @@ struct RoundCache {
     params: SolverParams,
     /// Specs the skeleton was built with (any change → rebuild).
     specs: Vec<ReservationSpec>,
-    /// Previous round's phase-1 classes (keys + counts drive the diff).
-    classes: Vec<EquivClass>,
+    /// Previous round's phase-1 reduction (its classes' keys + counts
+    /// drive the diff; its labels are the basis name space).
+    reduction: Reduction,
     /// The hard phase-1 model skeleton.
     ras: RasModel,
     /// Structural variable names of the model `basis` was recorded in.
@@ -243,18 +273,35 @@ impl SolveSession {
         let filter = universe.map(|u| move |s: ServerId| u.contains(&s));
         let filter_dyn: Option<&dyn Fn(ServerId) -> bool> =
             filter.as_ref().map(|f| f as &dyn Fn(ServerId) -> bool);
-        let classes = build_classes(region, snapshot, params.phase1_granularity, filter_dyn);
+        let reduction = build_reduction(
+            region,
+            snapshot,
+            specs,
+            params.phase1_granularity,
+            params.aggregation,
+            filter_dyn,
+        );
+        report.spec_clusters = reduction.stats.spec_clusters;
+        report.reduced_specs = reduction.stats.reduced_specs;
+        report.agg_vars_full = reduction.stats.vars_full;
+        report.agg_vars_reduced = reduction.stats.vars_reduced;
+        report.excluded_servers = reduction.stats.servers_excluded;
 
         // On any error below the cache stays dropped: a failed round
         // invalidates the session and the next round starts cold.
         let cache = self.cache.take();
+        // The diff runs over *reduced* class keys and labels: identical
+        // full specs + params imply an identical clustering (the pipeline
+        // is deterministic), so the reduced key space is stable whenever
+        // the full inputs are — warm starts survive aggregation.
         let skeleton_reusable = cache.as_ref().is_some_and(|c| {
             c.params == *params
                 && c.specs.as_slice() == specs
-                && c.classes.len() == classes.len()
-                && c.classes
+                && c.reduction.classes.len() == reduction.classes.len()
+                && c.reduction
+                    .classes
                     .iter()
-                    .zip(&classes)
+                    .zip(&reduction.classes)
                     .all(|(a, b)| a.key() == b.key())
         });
 
@@ -265,10 +312,11 @@ impl SolveSession {
                 // and the objective constant — the diff class whose warm
                 // basis stays dual feasible.
                 report.bounds_only_patch = true;
-                let drifted: Vec<usize> = classes
+                let drifted: Vec<usize> = reduction
+                    .classes
                     .iter()
                     .enumerate()
-                    .filter(|(ci, cl)| cl.count() != c.classes[*ci].count())
+                    .filter(|(ci, cl)| cl.count() != c.reduction.classes[*ci].count())
                     .map(|(ci, _)| ci)
                     .collect();
                 if !drifted.is_empty() {
@@ -276,7 +324,7 @@ impl SolveSession {
                     report.model_patched = true;
                     report.classes_resized = drifted.len();
                     for &ci in &drifted {
-                        let count = classes[ci].count() as f64;
+                        let count = reduction.classes[ci].count() as f64;
                         for var in c.ras.vars[ci].iter().flatten() {
                             c.ras.model.set_bounds(*var, 0.0, count);
                         }
@@ -284,17 +332,26 @@ impl SolveSession {
                             c.ras.model.set_rhs(row, count);
                         }
                     }
-                    c.ras.objective_constant = movement_constant(&classes, params);
-                    c.ras.initial = c
-                        .ras
-                        .incumbent_from_counts(&current_counts(&classes, specs.len()));
+                    c.ras.objective_constant = movement_constant(&reduction.classes, params);
+                    c.ras.initial = c.ras.incumbent_from_counts(&current_counts(
+                        &reduction.classes,
+                        reduction.specs.len(),
+                    ));
                 }
                 (c.ras, Some((c.basis, c.var_names, c.row_names, c.targets)))
             }
             other => {
                 // Structural change (or first round): full rebuild. The
                 // previous basis and targets still warm-start the solve.
-                let ras = build_model(region, specs, &classes, params, false, None);
+                let ras = build_model_labeled(
+                    region,
+                    &reduction.specs,
+                    &reduction.classes,
+                    &reduction.labels,
+                    params,
+                    false,
+                    None,
+                );
                 let prev = other.map(|c| (c.basis, c.var_names, c.row_names, c.targets));
                 (ras, prev)
             }
@@ -324,13 +381,16 @@ impl SolveSession {
             }
             // Previous targets, re-aggregated over the new classes (this
             // clamps away servers that left the fleet), become the seed
-            // incumbent.
-            let mut counts = vec![vec![0usize; specs.len()]; classes.len()];
-            for (ci, class) in classes.iter().enumerate() {
+            // incumbent. Full-space target ids map through the reduction
+            // into the model's (possibly clustered) spec space.
+            let mut counts = vec![vec![0usize; reduction.specs.len()]; reduction.classes.len()];
+            for (ci, class) in reduction.classes.iter().enumerate() {
                 for &s in &class.servers {
                     if let Some(r) = targets.get(s.index()).copied().flatten() {
-                        if let Some(slot) = counts[ci].get_mut(r.index()) {
-                            *slot += 1;
+                        if let Some(g) = reduction.reduced_index(r) {
+                            if let Some(slot) = counts[ci].get_mut(g) {
+                                *slot += 1;
+                            }
                         }
                     }
                 }
@@ -342,7 +402,16 @@ impl SolveSession {
         }
 
         let warm = (!warm.is_empty()).then_some(warm);
-        let result = solve_prepared(region, specs, &classes, &ras, params, false, warm)?;
+        let result = solve_prepared(
+            region,
+            &reduction.specs,
+            &reduction.classes,
+            &reduction.labels,
+            &ras,
+            params,
+            false,
+            warm,
+        )?;
         report.warm_basis_accepted = result.solution.stats.warm_basis_accepted;
         report.dual_resolve = result.solution.stats.root_used_dual_simplex;
         report.root_phase1_iterations = result.solution.stats.root_phase1_iterations;
@@ -350,8 +419,68 @@ impl SolveSession {
         report.incumbent_seeded = result.solution.stats.incumbent_seeded;
         report.nodes_pruned_by_seed = result.solution.stats.nodes_pruned_by_seed;
 
-        let targets1 = concretize(region, snapshot, &classes, &result.counts, specs.len());
-        let phase1 = make_stats(phase_start, ras_build_seconds, classes.len(), &result);
+        // Backward map: split aggregate-spec counts over the member
+        // reservations (identity below `Clusters` — the counts pass
+        // through untouched, keeping that path byte-identical).
+        let disaggregated;
+        let counts_full: &[Vec<usize>] = if reduction.has_clusters() {
+            let (full, disagg) = reduction.disaggregate_counts(snapshot, specs, &result.counts);
+            report.disagg_repair_moves = disagg.repair_moves;
+            report.disagg_stays_honored = disagg.stays_honored;
+            report.disagg_topup_units = disagg.topup_units;
+            report.disagg_shortfall_rru = disagg.shortfall_rru;
+            disaggregated = full;
+            &disaggregated
+        } else {
+            &result.counts
+        };
+
+        let targets1 = concretize(
+            region,
+            snapshot,
+            &reduction.classes,
+            counts_full,
+            specs.len(),
+        );
+        let phase1 = make_stats(
+            phase_start,
+            ras_build_seconds,
+            reduction.stats.clone(),
+            &result,
+        );
+
+        // Exact-model ratchet: every N rounds re-solve the unreduced
+        // (Classes-level) model and score both phase-1 plans with the
+        // term-exact evaluator — aggregation drift beyond the sharded
+        // tolerance marks the round's certificate dirty.
+        if params.aggregation == AggregationLevel::Clusters
+            && reduction.has_clusters()
+            && params.exact_ratchet_interval > 0
+            && self.rounds.is_multiple_of(params.exact_ratchet_interval)
+        {
+            report.ratchet_checked = true;
+            let mut exact_params = params.clone();
+            exact_params.aggregation = AggregationLevel::Classes;
+            match run_phase(
+                region,
+                specs,
+                snapshot,
+                &exact_params,
+                params.phase1_granularity,
+                false,
+                universe,
+            ) {
+                Ok((exact_targets, _)) => {
+                    let ours = evaluate_targets(region, specs, snapshot, params, &targets1);
+                    let exact = evaluate_targets(region, specs, snapshot, params, &exact_targets);
+                    report.ratchet_gap = ours.objective - exact.objective;
+                    report.ratchet_ok = report.ratchet_gap.abs()
+                        <= sharded_tolerance(2, params, exact.objective)
+                        && ours.capacity_feasible(params.mip_abs_gap + 1e-6);
+                }
+                Err(_) => report.ratchet_ok = false,
+            }
+        }
         // Steady-state shortcut: when phase 1 lands exactly on the
         // previous round's *final* (post-phase-2) targets, last round's
         // rack refinement already mapped this assignment to itself, so
@@ -371,7 +500,7 @@ impl SolveSession {
         self.cache = Some(RoundCache {
             params: params.clone(),
             specs: specs.to_vec(),
-            classes,
+            reduction,
             ras,
             var_names: result.var_names,
             row_names: result.row_names,

@@ -838,6 +838,20 @@ fn aggregate_warm(round: usize, shards: &[ShardReport]) -> WarmReport {
         phase2_skipped: all(|w| w.phase2_skipped),
         seed_repaired: any(|w| w.seed_repaired),
         nodes_pruned_by_seed: shards.iter().map(|s| s.warm.nodes_pruned_by_seed).sum(),
+        spec_clusters: shards.iter().map(|s| s.warm.spec_clusters).sum(),
+        reduced_specs: shards.iter().map(|s| s.warm.reduced_specs).sum(),
+        agg_vars_full: shards.iter().map(|s| s.warm.agg_vars_full).sum(),
+        agg_vars_reduced: shards.iter().map(|s| s.warm.agg_vars_reduced).sum(),
+        excluded_servers: shards.iter().map(|s| s.warm.excluded_servers).sum(),
+        disagg_repair_moves: shards.iter().map(|s| s.warm.disagg_repair_moves).sum(),
+        disagg_stays_honored: shards.iter().map(|s| s.warm.disagg_stays_honored).sum(),
+        disagg_topup_units: shards.iter().map(|s| s.warm.disagg_topup_units).sum(),
+        disagg_shortfall_rru: shards.iter().map(|s| s.warm.disagg_shortfall_rru).sum(),
+        ratchet_checked: any(|w| w.ratchet_checked),
+        ratchet_gap: shards.iter().map(|s| s.warm.ratchet_gap).sum(),
+        // The round's ratchet holds only if every shard that checked one
+        // passed; shards that skipped theirs this round don't vote.
+        ratchet_ok: all(|w| !w.ratchet_checked || w.ratchet_ok),
     }
 }
 
@@ -906,6 +920,24 @@ fn aggregate_phase1(shards: &[ShardReport], objective: f64, wall_seconds: f64) -
             ras_milp::Status::Feasible
         },
         objective,
+        reduction: {
+            // Size counters sum across the disjoint shard universes; the
+            // level is uniform (every shard solves with the same params).
+            let mut r = crate::aggregate::ReductionStats::default();
+            for s in shards {
+                let p = &s.phase1.reduction;
+                r.level = p.level;
+                r.servers += p.servers;
+                r.servers_excluded += p.servers_excluded;
+                r.classes += p.classes;
+                r.full_specs += p.full_specs;
+                r.reduced_specs += p.reduced_specs;
+                r.spec_clusters += p.spec_clusters;
+                r.vars_full += p.vars_full;
+                r.vars_reduced += p.vars_reduced;
+            }
+            r
+        },
     }
 }
 

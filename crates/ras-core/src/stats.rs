@@ -3,6 +3,8 @@
 use ras_milp::{SolveStats, Status};
 use serde::{Deserialize, Serialize};
 
+use crate::aggregate::ReductionStats;
+
 /// Timing and size breakdown of one solver phase, matching the paper's
 /// four steps: RAS Build, Solver Build, Initial State, MIP (Figure 8).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -33,6 +35,9 @@ pub struct PhaseStats {
     /// the model actually solved. A warm solve and a cold solve of the
     /// same round must agree on this within tolerance.
     pub objective: f64,
+    /// Size accounting of the aggregation pipeline's reduction for this
+    /// phase (reduction ratio, excluded servers, spec clusters).
+    pub reduction: ReductionStats,
 }
 
 impl PhaseStats {
