@@ -16,12 +16,47 @@
 //! cheaper than the cold round 0 and that steady-state rounds plan zero
 //! moves.
 
-use ras_broker::{ResourceBroker, SimTime, UnavailabilityEvent, UnavailabilityKind};
+use ras_broker::{ReservationId, ResourceBroker, SimTime, UnavailabilityEvent, UnavailabilityKind};
 use ras_core::reservation::ReservationSpec;
 use ras_core::solver::AsyncSolver;
 use ras_core::{SolverParams, WarmReport};
 use ras_topology::{Region, ScopeId, ServerId};
+use ras_twine::{ContainerSpec, JobSpec, PlacementPolicyKind, TwineScheduler};
 use serde::{Deserialize, Serialize};
+
+use crate::metrics::{stranded_account, StrandedAccount};
+
+/// Level-2 container load driven alongside the level-1 solve rounds:
+/// each reservation gets one job per shape, placed by a Twine scheduler
+/// under the configured policy, evacuated on churn, and accounted for
+/// stranded capacity every round.
+#[derive(Debug, Clone)]
+pub struct ContainerLoad {
+    /// Placement policy for the Twine scheduler.
+    pub policy: PlacementPolicyKind,
+    /// Container shapes submitted per reservation: `(spec, replicas)`.
+    pub shapes: Vec<(ContainerSpec, u32)>,
+    /// Spread each job's replicas across racks.
+    pub rack_anti_affinity: bool,
+}
+
+impl ContainerLoad {
+    /// A mixed cores-heavy/memory-heavy load sized for a reservation of
+    /// roughly `servers` members — the shape mix that strands capacity
+    /// under dimension-blind stacking.
+    pub fn mixed(policy: PlacementPolicyKind, servers: usize) -> Self {
+        let per_shape = (servers as u32).max(4);
+        Self {
+            policy,
+            shapes: vec![
+                (ContainerSpec::cores_heavy(), per_shape),
+                (ContainerSpec::memory_heavy(), per_shape),
+                (ContainerSpec::small(), per_shape / 2),
+            ],
+            rack_anti_affinity: true,
+        }
+    }
+}
 
 /// Configuration of a continuous run.
 #[derive(Debug, Clone)]
@@ -40,6 +75,9 @@ pub struct ContinuousConfig {
     /// and record its time/objective for differential comparison. The
     /// cold solve is never applied.
     pub cold_compare: bool,
+    /// Container load to run at level 2 (none = level-1-only rounds,
+    /// the historical behavior).
+    pub containers: Option<ContainerLoad>,
 }
 
 impl Default for ContinuousConfig {
@@ -51,6 +89,7 @@ impl Default for ContinuousConfig {
             utilization: 0.6,
             params: SolverParams::default(),
             cold_compare: false,
+            containers: None,
         }
     }
 }
@@ -110,6 +149,22 @@ pub struct RoundReport {
     /// The ratchet (when checked) found the aggregated plan within
     /// tolerance of the exact solve.
     pub ratchet_ok: bool,
+    /// Containers running at the end of the round (0 without a
+    /// [`ContainerLoad`]).
+    pub container_count: usize,
+    /// Containers evacuated off churned servers and re-placed this round.
+    pub evac_moved: usize,
+    /// Containers evacuated this round that could not be re-placed.
+    pub evac_lost: usize,
+    /// Stranded-capacity account over the portfolio's reservations at
+    /// the end of the round.
+    pub stranded: StrandedAccount,
+    /// Cumulative container-placement latency p50 (µs) through this
+    /// round.
+    pub placement_p50_us: Option<u64>,
+    /// Cumulative container-placement latency p99 (µs) through this
+    /// round.
+    pub placement_p99_us: Option<u64>,
 }
 
 /// A deterministic xorshift generator (no external RNG dependency).
@@ -159,10 +214,16 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
     let churn = ras_core::cast::rounded_usize(region.server_count() as f64 * config.churn_fraction);
     let mut downed: Vec<ServerId> = Vec::new();
     let mut reports = Vec::with_capacity(config.rounds);
+    let mut twine = config
+        .containers
+        .as_ref()
+        .map(|load| TwineScheduler::with_policy(load.policy));
 
     for round in 0..config.rounds {
         let now = SimTime::from_hours(round as u64);
         let mut churned = 0;
+        let mut evac_moved = 0;
+        let mut evac_lost = 0;
         if round > 0 {
             // Yesterday's failures recover...
             for s in downed.drain(..) {
@@ -184,6 +245,17 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
                 if broker.mark_down(event).is_ok() {
                     downed.push(s);
                     churned += 1;
+                }
+            }
+            // Twine reacts to the churn immediately: every container on a
+            // freshly-downed server is evacuated within its reservation.
+            if let Some(sched) = &mut twine {
+                for s in &downed {
+                    if sched.allocator.containers_on(*s) > 0 {
+                        let (m, l) = sched.evacuate(region, &mut broker, *s);
+                        evac_moved += m;
+                        evac_lost += l;
+                    }
                 }
             }
         }
@@ -234,6 +306,39 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             let _ = broker.bind_current(s, target);
         }
 
+        // Level-2 load rides on the freshly materialized capacity: the
+        // first round submits the jobs, later rounds retry anything
+        // pending or degraded (evacuation losses, capacity shifts).
+        let mut stranded = StrandedAccount::default();
+        let (mut placement_p50_us, mut placement_p99_us) = (None, None);
+        let mut container_count = 0;
+        if let (Some(sched), Some(load)) = (&mut twine, config.containers.as_ref()) {
+            if round == 0 {
+                for (ri, spec) in specs.iter().enumerate() {
+                    let reservation = ReservationId::from_index(ri);
+                    for (si, (shape, replicas)) in load.shapes.iter().enumerate() {
+                        sched.submit(
+                            region,
+                            &mut broker,
+                            JobSpec {
+                                name: format!("{}-shape{si}", spec.name),
+                                reservation,
+                                container: *shape,
+                                replicas: *replicas,
+                                rack_anti_affinity: load.rack_anti_affinity,
+                            },
+                        );
+                    }
+                }
+            } else {
+                sched.process(region, &mut broker, now);
+            }
+            stranded = stranded_now(sched, region, &broker, specs.len());
+            placement_p50_us = sched.latency.percentile(50.0);
+            placement_p99_us = sched.latency.percentile(99.0);
+            container_count = sched.allocator.container_count();
+        }
+
         reports.push(RoundReport {
             round,
             solve_seconds,
@@ -256,9 +361,51 @@ pub fn run_continuous(region: &Region, config: &ContinuousConfig) -> Vec<RoundRe
             disagg_repair_moves: output.warm.disagg_repair_moves,
             ratchet_checked: output.warm.ratchet_checked,
             ratchet_ok: output.warm.ratchet_ok,
+            container_count,
+            evac_moved,
+            evac_lost,
+            stranded,
+            placement_p50_us,
+            placement_p99_us,
         });
     }
     reports
+}
+
+/// Stranded-capacity account across every reservation with containers,
+/// each at its own smallest-container grain. Only healthy members that
+/// actually hold containers are accounted: stranding measures what the
+/// *allocator's stacking* left unusable, and hosts it never touched say
+/// nothing about the placement policy.
+pub(crate) fn stranded_now(
+    sched: &mut TwineScheduler,
+    region: &Region,
+    broker: &ResourceBroker,
+    reservations: usize,
+) -> StrandedAccount {
+    let mut total = StrandedAccount::default();
+    for ri in 0..reservations {
+        let r = ReservationId::from_index(ri);
+        let shapes: Vec<(f64, f64)> = sched
+            .allocator
+            .container_shapes(r)
+            .iter()
+            .map(|s| (s.cores, s.memory_gib))
+            .collect();
+        if shapes.is_empty() {
+            continue;
+        }
+        let mut free = Vec::new();
+        for s in broker.members_of(r) {
+            let up = broker.record(s).map(|rec| rec.is_up()).unwrap_or(false);
+            if !up || sched.allocator.containers_on(s) == 0 {
+                continue;
+            }
+            free.push(sched.allocator.free_capacity_of(region, s));
+        }
+        total.merge(&stranded_account(free, &shapes));
+    }
+    total
 }
 
 #[cfg(test)]
@@ -384,6 +531,46 @@ mod tests {
             reports.iter().any(|r| r.ratchet_checked),
             "interval 2 over 4 rounds must run the ratchet"
         );
+    }
+
+    #[test]
+    fn container_rounds_account_stranding_and_survive_churn() {
+        let region = region();
+        let config = ContinuousConfig {
+            rounds: 4,
+            churn_fraction: 0.02,
+            containers: Some(ContainerLoad::mixed(PlacementPolicyKind::FarbBalance, 30)),
+            ..ContinuousConfig::default()
+        };
+        let reports = run_continuous(&region, &config);
+        assert!(
+            reports[0].container_count > 0,
+            "round 0 must place the container load"
+        );
+        for r in &reports {
+            assert!(r.stranded.hosts > 0, "round {} accounts hosts", r.round);
+            assert!(
+                r.stranded.free_cores > 0.0,
+                "round {} sees free capacity",
+                r.round
+            );
+            assert!(r.placement_p99_us.is_some(), "round {} latency", r.round);
+        }
+        // Containers never silently vanish: every round's count equals
+        // the initial placement minus cumulative evacuation losses.
+        let placed = reports[0].container_count;
+        let mut lost = 0;
+        for r in &reports[1..] {
+            lost += r.evac_lost;
+            assert!(
+                r.container_count + lost >= placed,
+                "round {}: {} running + {} lost < {} placed",
+                r.round,
+                r.container_count,
+                lost,
+                placed
+            );
+        }
     }
 
     #[test]

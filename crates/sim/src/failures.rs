@@ -16,8 +16,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ras_broker::{ResourceBroker, SimTime, UnavailabilityKind};
 use ras_topology::{MsbId, PowerRowId, Region, ScopeId, ServerId};
-use ras_twine::HealthCheckService;
+use ras_twine::{HealthCheckService, JobSpec, TwineScheduler};
 use serde::{Deserialize, Serialize};
+
+use crate::continuous::{stranded_now, ContainerLoad};
+use crate::metrics::StrandedAccount;
 
 /// Event rates, all per simulated time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -297,6 +300,131 @@ impl FailureInjector {
     }
 }
 
+/// Outcome of one MSB-scale failure drill at the container layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrillReport {
+    /// Placement policy that ran the drill.
+    pub policy: String,
+    /// Containers placed before the failure.
+    pub containers: usize,
+    /// Servers the failed MSB took down.
+    pub msb_servers: usize,
+    /// Containers that had to evacuate the failed MSB.
+    pub containers_on_msb: usize,
+    /// Evacuees successfully re-placed within the reservation.
+    pub evac_moved: usize,
+    /// Evacuees that could not be re-placed.
+    pub evac_lost: usize,
+    /// Stranded-capacity account before the failure.
+    pub stranded_before: StrandedAccount,
+    /// Stranded-capacity account after evacuation completed.
+    pub stranded_after: StrandedAccount,
+    /// Placement latency p50 (µs) across the whole drill.
+    pub placement_p50_us: Option<u64>,
+    /// Placement latency p99 (µs) across the whole drill.
+    pub placement_p99_us: Option<u64>,
+}
+
+/// Runs a correlated-failure drill at the container layer: bind
+/// `member_fraction` of the fleet (striped across the region) to one
+/// reservation, place the container load, fail the MSB hosting the most
+/// containers, evacuate every victim, and account stranded capacity
+/// before and after.
+pub fn run_failure_drill(
+    region: &Region,
+    load: &ContainerLoad,
+    member_fraction: f64,
+) -> DrillReport {
+    let total = region.server_count();
+    let want = ras_core::cast::rounded_usize(total as f64 * member_fraction).clamp(1, total);
+    let mut broker = ResourceBroker::new(total);
+    let reservation = broker.register_reservation("drill");
+    // Stripe the membership across the fleet so every MSB contributes.
+    let stride = (total / want).max(1);
+    let mut bound = 0;
+    for i in (0..total).step_by(stride) {
+        if bound >= want {
+            break;
+        }
+        if broker
+            .bind_current(ServerId::from_index(i), Some(reservation))
+            .is_ok()
+        {
+            bound += 1;
+        }
+    }
+
+    let mut sched = TwineScheduler::with_policy(load.policy);
+    for (si, (shape, replicas)) in load.shapes.iter().enumerate() {
+        sched.submit(
+            region,
+            &mut broker,
+            JobSpec {
+                name: format!("drill-shape{si}"),
+                reservation,
+                container: *shape,
+                replicas: *replicas,
+                rack_anti_affinity: load.rack_anti_affinity,
+            },
+        );
+    }
+    let containers = sched.allocator.container_count();
+    let stranded_before = stranded_now(&mut sched, region, &broker, 1);
+
+    // Fail the MSB hosting the most containers — the worst case for the
+    // reservation's embedded buffer capacity.
+    let mut per_msb = vec![0usize; region.msbs().len()];
+    for msb in region.msbs() {
+        per_msb[msb.id.index()] = region
+            .servers_in_msb(msb.id)
+            .map(|s| sched.allocator.containers_on(s.id))
+            .sum();
+    }
+    let worst = per_msb
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, n)| **n)
+        .map(|(i, _)| MsbId::from_index(i))
+        .unwrap_or(MsbId::from_index(0));
+    let containers_on_msb = per_msb[worst.index()];
+
+    let mut hcs = HealthCheckService::new();
+    let msb_servers = hcs
+        .report_scope_down(
+            &mut broker,
+            region,
+            ScopeId::Msb(worst),
+            UnavailabilityKind::CorrelatedFailure,
+            SimTime::ZERO,
+            Some(SimTime::from_hours(6)),
+        )
+        .unwrap_or(0);
+
+    let mut evac_moved = 0;
+    let mut evac_lost = 0;
+    for server in region.servers_in_msb(worst).map(|s| s.id) {
+        if sched.allocator.containers_on(server) > 0 {
+            let (m, l) = sched.evacuate(region, &mut broker, server);
+            evac_moved += m;
+            evac_lost += l;
+        }
+    }
+    let stranded_after = stranded_now(&mut sched, region, &broker, 1);
+
+    DrillReport {
+        policy: sched.allocator.policy_name().to_string(),
+        containers,
+        msb_servers,
+        containers_on_msb,
+        evac_moved,
+        evac_lost,
+        stranded_before,
+        stranded_after,
+        placement_p50_us: sched.latency.percentile(50.0),
+        placement_p99_us: sched.latency.percentile(99.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +514,38 @@ mod tests {
                 members.len()
             );
         }
+    }
+
+    #[test]
+    fn failure_drill_evacuates_the_worst_msb() {
+        let region = RegionBuilder::new(RegionTemplate::tiny(), 7).build();
+        let load = crate::continuous::ContainerLoad::mixed(
+            ras_twine::PlacementPolicyKind::FarbBalance,
+            24,
+        );
+        let report = run_failure_drill(&region, &load, 0.5);
+        assert_eq!(report.policy, "farb");
+        assert!(report.containers > 0, "drill places the load");
+        assert!(report.msb_servers > 0, "an MSB went down");
+        assert!(
+            report.containers_on_msb > 0,
+            "the worst MSB hosted containers"
+        );
+        assert_eq!(
+            report.evac_moved + report.evac_lost,
+            report.containers_on_msb,
+            "every victim is accounted moved or lost"
+        );
+        // Half the fleet bound and ~1/6 of it down: ample spare capacity,
+        // nothing may be lost.
+        assert_eq!(report.evac_lost, 0, "dense spare capacity absorbs all");
+        assert!(report.placement_p99_us.is_some());
+        // Only occupied healthy hosts are accounted, so the host count is
+        // bounded by the container count on both sides of the drill.
+        assert!(report.stranded_before.hosts > 0);
+        assert!(report.stranded_after.hosts > 0);
+        assert!(report.stranded_before.hosts <= report.containers);
+        assert!(report.stranded_after.hosts <= report.containers);
     }
 
     #[test]

@@ -13,7 +13,9 @@ pub mod failures;
 pub mod metrics;
 pub mod scenario;
 
-pub use continuous::{run_continuous, ContinuousConfig, RoundReport};
-pub use failures::{FailureInjector, FailureRates};
-pub use metrics::{HourSample, MetricsLog};
+pub use continuous::{run_continuous, ContainerLoad, ContinuousConfig, RoundReport};
+pub use failures::{run_failure_drill, DrillReport, FailureInjector, FailureRates};
+pub use metrics::{
+    stranded_account, stranded_best, stranded_on, HourSample, MetricsLog, StrandedAccount,
+};
 pub use scenario::{AllocatorMode, SimConfig, Simulation};

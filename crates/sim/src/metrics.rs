@@ -1,7 +1,135 @@
-//! Hourly metric samples collected by the simulation.
+//! Hourly metric samples collected by the simulation, plus
+//! stranded-capacity accounting for the container (level-2) layer.
+//!
+//! *Stranded* capacity is free capacity in one dimension that cannot host
+//! another container because the complementary dimension is exhausted, at
+//! the granularity of the reservation's actual container shapes: a host
+//! with 16 free cores but 1 free GiB has 16 stranded cores when every
+//! offered shape needs at least a few GiB — the cores are nominally free
+//! yet unusable.
 
 use ras_broker::SimTime;
 use serde::{Deserialize, Serialize};
+
+/// Stranded-capacity totals over a set of hosts at one container grain.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq)]
+pub struct StrandedAccount {
+    /// Total free cores across the accounted hosts.
+    pub free_cores: f64,
+    /// Total free memory (GiB) across the accounted hosts.
+    pub free_memory_gib: f64,
+    /// Cores in whole container-slots blocked by exhausted memory.
+    pub stranded_cores: f64,
+    /// Memory (GiB) in whole container-slots blocked by exhausted cores.
+    pub stranded_memory_gib: f64,
+    /// Hosts accounted.
+    pub hosts: usize,
+    /// Hosts with at least one whole container-slot stranded in either
+    /// dimension.
+    pub stranded_hosts: usize,
+}
+
+impl StrandedAccount {
+    /// Folds another account into this one.
+    pub fn merge(&mut self, other: &StrandedAccount) {
+        self.free_cores += other.free_cores;
+        self.free_memory_gib += other.free_memory_gib;
+        self.stranded_cores += other.stranded_cores;
+        self.stranded_memory_gib += other.stranded_memory_gib;
+        self.hosts += other.hosts;
+        self.stranded_hosts += other.stranded_hosts;
+    }
+
+    /// Fraction of free cores that are stranded.
+    pub fn core_fraction(&self) -> f64 {
+        if self.free_cores <= 0.0 {
+            0.0
+        } else {
+            self.stranded_cores / self.free_cores
+        }
+    }
+
+    /// Fraction of free memory that is stranded.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.free_memory_gib <= 0.0 {
+            0.0
+        } else {
+            self.stranded_memory_gib / self.free_memory_gib
+        }
+    }
+
+    /// Mean of the per-dimension stranded fractions — the headline
+    /// "stranded fraction" the FARB bench gates on.
+    pub fn fraction(&self) -> f64 {
+        (self.core_fraction() + self.memory_fraction()) / 2.0
+    }
+
+    /// Fraction of hosts with stranded capacity (FARB's 23–36 % baseline
+    /// statistic).
+    pub fn host_fraction(&self) -> f64 {
+        if self.hosts == 0 {
+            0.0
+        } else {
+            self.stranded_hosts as f64 / self.hosts as f64
+        }
+    }
+}
+
+/// Stranded capacity of one host at a *single* container grain: whole
+/// container-slots (at `grain` = `(cores, memory_gib)` per container)
+/// free in one dimension but unusable because the other dimension has
+/// fewer slots left.
+pub fn stranded_on(free_cores: f64, free_memory_gib: f64, grain: (f64, f64)) -> (f64, f64) {
+    if grain.0 <= 0.0 || grain.1 <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let core_slots = (free_cores / grain.0).floor().max(0.0);
+    let mem_slots = (free_memory_gib / grain.1).floor().max(0.0);
+    let usable = core_slots.min(mem_slots);
+    (
+        (core_slots - usable) * grain.0,
+        (mem_slots - usable) * grain.1,
+    )
+}
+
+/// Stranded capacity of one host against a reservation's whole *shape
+/// set*: per dimension, capacity is stranded only when **no** offered
+/// shape can consume it — the shape that strands the least in a
+/// dimension bounds that dimension's stranding (future placements would
+/// use it). A single averaged grain instead would mis-read heterogeneous
+/// hardware: a memory-rich host is fully consumable by the memory-heavy
+/// shape even though the core-efficient shape would leave most of its
+/// memory behind.
+pub fn stranded_best(free_cores: f64, free_memory_gib: f64, shapes: &[(f64, f64)]) -> (f64, f64) {
+    let mut best: Option<(f64, f64)> = None;
+    for grain in shapes {
+        let (sc, sm) = stranded_on(free_cores, free_memory_gib, *grain);
+        let (bc, bm) = best.unwrap_or((f64::INFINITY, f64::INFINITY));
+        best = Some((bc.min(sc), bm.min(sm)));
+    }
+    best.unwrap_or((0.0, 0.0))
+}
+
+/// Accounts stranded capacity over hosts' `(free_cores, free_memory_gib)`
+/// pairs against a reservation's container shape set.
+pub fn stranded_account(
+    hosts: impl IntoIterator<Item = (f64, f64)>,
+    shapes: &[(f64, f64)],
+) -> StrandedAccount {
+    let mut acct = StrandedAccount::default();
+    for (free_cores, free_memory_gib) in hosts {
+        let (sc, sm) = stranded_best(free_cores, free_memory_gib, shapes);
+        acct.free_cores += free_cores;
+        acct.free_memory_gib += free_memory_gib;
+        acct.stranded_cores += sc;
+        acct.stranded_memory_gib += sm;
+        acct.hosts += 1;
+        if sc > 0.0 || sm > 0.0 {
+            acct.stranded_hosts += 1;
+        }
+    }
+    acct
+}
 
 /// One hourly sample of region state.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -27,6 +155,9 @@ pub struct HourSample {
     pub power_headroom: f64,
     /// Solver target moves executed this hour: (in-use, unused).
     pub moves: (usize, usize),
+    /// Stranded-capacity account across every reservation running
+    /// containers (empty when the twine layer is idle).
+    pub stranded: StrandedAccount,
 }
 
 /// Append-only metric log.
@@ -81,6 +212,56 @@ pub fn hour_of(t: SimTime) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stranded_on_counts_whole_blocked_slots() {
+        let grain = (4.0, 8.0);
+        // Balanced residual: 2 slots each way, nothing stranded.
+        assert_eq!(stranded_on(8.0, 16.0, grain), (0.0, 0.0));
+        // Cores free for 4 slots, memory for 1: 3 core-slots stranded.
+        assert_eq!(stranded_on(16.0, 8.0, grain), (12.0, 0.0));
+        // Memory free for 3 slots, cores for 0: all 3 stranded.
+        assert_eq!(stranded_on(2.0, 24.0, grain), (0.0, 24.0));
+        // Sub-slot residue in both dimensions is fragmentation, not
+        // stranding.
+        assert_eq!(stranded_on(3.0, 7.0, grain), (0.0, 0.0));
+        // Degenerate grain never divides by zero.
+        assert_eq!(stranded_on(8.0, 8.0, (0.0, 8.0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stranded_best_takes_the_most_consuming_shape_per_dimension() {
+        let shapes = [(8.0, 4.0), (2.0, 24.0)];
+        // A memory-rich residual is consumable by the memory-heavy shape
+        // (2 cores / 24 GiB): nothing is stranded even though the
+        // cores-heavy shape would leave most of the memory behind.
+        assert_eq!(stranded_best(44.0, 464.0, &shapes), (0.0, 0.0));
+        // With cores exhausted below every shape's demand, all free
+        // memory is stranded under the best (memory-heavy) shape.
+        let (sc, sm) = stranded_best(1.0, 60.0, &shapes);
+        assert_eq!(sc, 0.0);
+        assert!((sm - 48.0).abs() < 1e-12, "2 whole 24-GiB slots: {sm}");
+        // No shapes: nothing can be stranded.
+        assert_eq!(stranded_best(10.0, 10.0, &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stranded_account_aggregates_hosts() {
+        let grain = &[(4.0, 8.0)][..];
+        let acct = stranded_account([(16.0, 8.0), (8.0, 16.0), (0.0, 32.0)], grain);
+        assert_eq!(acct.hosts, 3);
+        assert_eq!(acct.stranded_hosts, 2);
+        assert!((acct.stranded_cores - 12.0).abs() < 1e-12);
+        assert!((acct.stranded_memory_gib - 32.0).abs() < 1e-12);
+        assert!((acct.core_fraction() - 12.0 / 24.0).abs() < 1e-12);
+        assert!((acct.memory_fraction() - 32.0 / 56.0).abs() < 1e-12);
+        assert!(acct.fraction() > 0.0 && acct.fraction() < 1.0);
+        assert!((acct.host_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        let mut merged = StrandedAccount::default();
+        merged.merge(&acct);
+        merged.merge(&StrandedAccount::default());
+        assert_eq!(merged, acct);
+    }
 
     #[test]
     fn window_and_mean() {

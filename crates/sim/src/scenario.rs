@@ -8,7 +8,7 @@ use ras_core::solver::AsyncSolver;
 use ras_core::SolverParams;
 use ras_mover::{ElasticManager, MoverConfig, OnlineMover};
 use ras_topology::Region;
-use ras_twine::{HealthCheckService, TwineAllocator};
+use ras_twine::{HealthCheckService, PlacementPolicyKind, TwineAllocator};
 use ras_workloads::power;
 
 use crate::failures::{FailureInjector, FailureRates};
@@ -46,6 +46,8 @@ pub struct SimConfig {
     /// Automatically loan idle capacity to an elastic reservation and
     /// revoke it when correlated failures strike (Section 3.4).
     pub auto_elastic: bool,
+    /// Placement policy for the Twine (level-2) allocator.
+    pub placement: PlacementPolicyKind,
 }
 
 impl Default for SimConfig {
@@ -58,6 +60,7 @@ impl Default for SimConfig {
             failures: FailureRates::default(),
             params: SolverParams::default(),
             auto_elastic: false,
+            placement: PlacementPolicyKind::BestFit,
         }
     }
 }
@@ -105,7 +108,7 @@ impl Simulation {
             specs: Vec::new(),
             solver: AsyncSolver::new(config.params.clone()),
             mover,
-            twine: TwineAllocator::new(),
+            twine: TwineAllocator::with_policy(config.placement),
             hcs: HealthCheckService::new(),
             injector,
             metrics: MetricsLog::new(),
@@ -321,6 +324,36 @@ impl Simulation {
         let in_use = new_records.iter().filter(|r| r.in_use).count();
         let unused = new_records.len() - in_use;
         self.moves_logged = self.mover.log.records().len();
+        // Stranded capacity per reservation running containers, at each
+        // reservation's smallest-container grain, over the healthy
+        // members that actually hold containers (stranding measures what
+        // the allocator's stacking left unusable).
+        let mut stranded = crate::metrics::StrandedAccount::default();
+        for ri in 0..self.specs.len() {
+            let r = ReservationId::from_index(ri);
+            let shapes: Vec<(f64, f64)> = self
+                .twine
+                .container_shapes(r)
+                .iter()
+                .map(|s| (s.cores, s.memory_gib))
+                .collect();
+            if shapes.is_empty() {
+                continue;
+            }
+            let mut free = Vec::new();
+            for s in self.broker.members_of(r) {
+                let up = self
+                    .broker
+                    .record(s)
+                    .map(|rec| rec.is_up())
+                    .unwrap_or(false);
+                if !up || self.twine.containers_on(s) == 0 {
+                    continue;
+                }
+                free.push(self.twine.free_capacity_of(&self.region, s));
+            }
+            stranded.merge(&crate::metrics::stranded_account(free, &shapes));
+        }
         self.metrics.push(HourSample {
             hour,
             unavailable_total: down.iter().sum::<usize>() as f64 / total,
@@ -332,6 +365,7 @@ impl Simulation {
             power_variance: p.utilization_variance,
             power_headroom: p.peak_utilization_headroom,
             moves: (in_use, unused),
+            stranded,
         });
     }
 

@@ -43,6 +43,30 @@ impl ContainerSpec {
             memory_gib: 64.0,
         }
     }
+
+    /// A cores-heavy container (e.g. a video encoder): high CPU demand
+    /// against little memory, the shape that exhausts a host's cores and
+    /// strands its memory under dimension-blind stacking.
+    pub fn cores_heavy() -> Self {
+        Self {
+            cores: 8.0,
+            memory_gib: 4.0,
+        }
+    }
+
+    /// A memory-heavy container (e.g. an in-memory index shard): the
+    /// complementary shape that exhausts memory and strands cores.
+    pub fn memory_heavy() -> Self {
+        Self {
+            cores: 2.0,
+            memory_gib: 24.0,
+        }
+    }
+
+    /// True when this container fits in `(free_cores, free_memory_gib)`.
+    pub fn fits(&self, free_cores: f64, free_memory_gib: f64) -> bool {
+        self.cores <= free_cores && self.memory_gib <= free_memory_gib
+    }
 }
 
 /// A job: `replicas` identical containers inside one reservation.

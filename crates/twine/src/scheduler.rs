@@ -14,7 +14,7 @@ use ras_broker::{ResourceBroker, SimTime};
 use ras_topology::Region;
 use serde::{Deserialize, Serialize};
 
-use crate::allocator::{PlacementError, TwineAllocator};
+use crate::allocator::{PlacementError, PlacementPolicyKind, TwineAllocator};
 
 use crate::job::{ContainerId, JobId, JobSpec};
 
@@ -85,9 +85,17 @@ pub struct TwineScheduler {
 }
 
 impl TwineScheduler {
-    /// Creates an empty scheduler.
+    /// Creates an empty scheduler (best-fit placement).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty scheduler with the given placement policy.
+    pub fn with_policy(kind: PlacementPolicyKind) -> Self {
+        Self {
+            allocator: TwineAllocator::with_policy(kind),
+            ..Self::default()
+        }
     }
 
     /// Submits a job; placement is attempted immediately and retried on
@@ -122,7 +130,9 @@ impl TwineScheduler {
             .ok_or(PlacementError::UnknownJob(job))?;
         entry.spec.replicas = replicas;
         while entry.containers.len() as u32 > replicas {
-            let c = entry.containers.pop().expect("len checked");
+            let Some(c) = entry.containers.pop() else {
+                break;
+            };
             self.allocator.stop(broker, c);
         }
         if (entry.containers.len() as u32) < replicas {
@@ -174,7 +184,10 @@ impl TwineScheduler {
         let mut one = entry.spec.clone();
         one.replicas = missing;
         let start = Instant::now();
-        let (placed, unplaced) = self.allocator.submit_partial(region, broker, one);
+        // The scheduler's job id travels into the allocator so retries
+        // and scale-ups share one identity: anti-affinity sees replicas
+        // placed by earlier calls and bookkeeping stays deduplicated.
+        let (placed, unplaced) = self.allocator.submit_partial_as(region, broker, job, one);
         self.latency.push(start.elapsed().as_micros() as u64);
         entry.containers.extend(placed);
         entry.state = if unplaced == 0 {
@@ -182,6 +195,30 @@ impl TwineScheduler {
         } else {
             JobState::Pending
         };
+    }
+
+    /// Evacuates a server through the allocator and reconciles job
+    /// bookkeeping: containers the allocator could not re-place are
+    /// dropped from their jobs, which become `Degraded` so the next
+    /// [`TwineScheduler::process`] re-places them.
+    pub fn evacuate(
+        &mut self,
+        region: &Region,
+        broker: &mut ResourceBroker,
+        server: ras_topology::ServerId,
+    ) -> (usize, usize) {
+        let (moved, lost) = self.allocator.evacuate(region, broker, server);
+        if lost > 0 {
+            let allocator = &self.allocator;
+            for entry in self.jobs.values_mut() {
+                let before = entry.containers.len();
+                entry.containers.retain(|c| allocator.contains(*c));
+                if entry.containers.len() < before && entry.state == JobState::Running {
+                    entry.state = JobState::Degraded;
+                }
+            }
+        }
+        (moved, lost)
     }
 
     /// Current state of one job.

@@ -12,8 +12,10 @@ use crate::lexer::{mask_source, mask_test_mods};
 pub const LINT_NAMES: [&str; 3] = ["partial-cmp-unwrap", "solver-unwrap", "float-as-int"];
 
 /// Crates whose non-test sources must not panic on fallible paths
-/// (`solver-unwrap` scope): the solver stack proper.
-const SOLVER_SCOPES: [&str; 2] = ["crates/milp/src", "crates/ras-core/src"];
+/// (`solver-unwrap` scope): the solver stack proper, plus the twine
+/// level-2 placement path (it runs inside the simulation loop and must
+/// degrade, not panic, when capacity or bookkeeping is off).
+const SOLVER_SCOPES: [&str; 3] = ["crates/milp/src", "crates/ras-core/src", "crates/twine/src"];
 
 /// One lint hit.
 #[derive(Debug, Clone)]
