@@ -34,9 +34,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::model::{Model, VarType};
+use crate::nan::NanGuard;
 use crate::simplex::{LpResult, LpStatus};
 use crate::solution::SolveStats;
 use crate::standard::StandardForm;
+use crate::tol;
 
 /// When the model auditor and certificate checkers run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -179,11 +181,11 @@ pub struct AuditConfig {
 impl Default for AuditConfig {
     fn default() -> Self {
         Self {
-            feas_tol: 1e-6,
-            int_tol: 1e-6,
-            dual_tol: 1e-5,
+            feas_tol: tol::PRIMAL_FEAS,
+            int_tol: tol::PRIMAL_FEAS,
+            dual_tol: tol::DUAL_FEAS,
             max_coeff: 1e10,
-            min_coeff: 1e-10,
+            min_coeff: tol::COEFF_MIN,
         }
     }
 }
@@ -519,8 +521,8 @@ pub fn check_lp_certificate(
     // Bounds.
     for j in 0..total {
         let x = lp.values[j];
-        let below = (lower[j] - x).max(0.0);
-        let above = (x - upper[j]).max(0.0);
+        let below = (lower[j] - x).nmax(0.0);
+        let above = (x - upper[j]).nmax(0.0);
         let viol = below.max(above);
         if viol > 0.0 {
             let rel = viol / (1.0 + x.abs());
@@ -558,7 +560,7 @@ pub fn check_lp_certificate(
             continue; // Fixed variable: any reduced-cost sign is dual-feasible.
         }
         if at_lo {
-            let excess = (-d).max(0.0) / (1.0 + scale);
+            let excess = (-d).nmax(0.0) / (1.0 + scale);
             report.max_dual_violation = report.max_dual_violation.max(excess);
             if -d > dtol {
                 report.violations.push(AuditIssue::reject(
@@ -568,7 +570,7 @@ pub fn check_lp_certificate(
                 ));
             }
         } else if at_up {
-            let excess = d.max(0.0) / (1.0 + scale);
+            let excess = d.nmax(0.0) / (1.0 + scale);
             report.max_dual_violation = report.max_dual_violation.max(excess);
             if d > dtol {
                 report.violations.push(AuditIssue::reject(
@@ -613,7 +615,7 @@ pub fn check_mip_certificate(
         return;
     }
     for (info, &x) in model.vars().iter().zip(values) {
-        let viol = (info.lower - x).max(x - info.upper).max(0.0);
+        let viol = (info.lower - x).nmax(x - info.upper).nmax(0.0);
         if viol > 0.0 {
             let rel = viol / (1.0 + x.abs());
             report.max_bound_violation = report.max_bound_violation.max(rel);
@@ -644,7 +646,7 @@ pub fn check_mip_certificate(
             crate::model::Sense::Ge => c.rhs - lhs,
             crate::model::Sense::Eq => (lhs - c.rhs).abs(),
         }
-        .max(0.0);
+        .nmax(0.0);
         if viol > 0.0 {
             let rel = viol / (1.0 + c.rhs.abs());
             report.max_primal_residual = report.max_primal_residual.max(rel);

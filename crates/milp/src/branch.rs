@@ -17,9 +17,12 @@ use crate::audit::{
 };
 use crate::branching::PseudoCosts;
 use crate::model::{Model, VarType};
+use crate::nan;
+use crate::nan::NanGuard;
 use crate::simplex::{solve_lp_warm, Basis, LpResult, LpStatus, SimplexConfig};
 use crate::solution::{Solution, SolveConfig, SolveError, SolveStats, Status};
 use crate::standard::StandardForm;
+use crate::tol;
 
 /// Branch-and-bound MIP solver.
 #[derive(Debug, Clone)]
@@ -221,7 +224,8 @@ impl BranchAndBound {
             .as_ref()
             .and_then(|w| w.incumbent.as_ref());
         for init in self.config.initial_incumbent.iter().chain(warm_incumbent) {
-            if init.len() == model.num_vars() && model.violations(init, 1e-6).is_empty() {
+            if init.len() == model.num_vars() && model.violations(init, tol::PRIMAL_FEAS).is_empty()
+            {
                 let mut values = init.clone();
                 for &j in &int_vars {
                     values[j] = values[j].round();
@@ -315,7 +319,7 @@ impl BranchAndBound {
                 break;
             }
             if self.config.stall_node_limit > 0 && incumbent.is_some() {
-                if entry.bound > last_bound + self.config.abs_gap_tol.max(1e-9) {
+                if entry.bound > last_bound + self.config.abs_gap_tol.max(tol::EPS) {
                     last_bound = entry.bound;
                     stall_nodes = 0;
                 } else {
@@ -458,14 +462,14 @@ impl BranchAndBound {
 
         stats.solve_seconds = start.elapsed().as_secs_f64();
         stats.mip_seconds =
-            (stats.solve_seconds - stats.setup_seconds - stats.root_lp_seconds).max(0.0);
+            (stats.solve_seconds - stats.setup_seconds - stats.root_lp_seconds).nmax(0.0);
         stats.hit_limit = hit_limit;
         let open_bound = heap
             .iter()
             .map(|e| e.bound)
-            .fold(f64::INFINITY, f64::min)
-            .min(best_open_bound)
-            .min(abandoned_bound);
+            .fold(f64::INFINITY, nan::fmin)
+            .nmin(best_open_bound)
+            .nmin(abandoned_bound);
         match incumbent {
             Some((obj, values)) => {
                 stats.best_bound = if heap.is_empty() && !hit_limit {
@@ -474,13 +478,13 @@ impl BranchAndBound {
                     open_bound.min(obj)
                 };
                 debug_assert!(
-                    stats.best_bound <= obj + 1e-6,
+                    stats.best_bound <= obj + tol::PRIMAL_FEAS,
                     "best_bound {} overclaims incumbent {}",
                     stats.best_bound,
                     obj
                 );
-                stats.absolute_gap = (obj - stats.best_bound).max(0.0);
-                stats.gap = stats.absolute_gap / obj.abs().max(1.0);
+                stats.absolute_gap = (obj - stats.best_bound).nmax(0.0);
+                stats.gap = stats.absolute_gap / obj.abs().nmax(1.0);
                 let status = if stats.absolute_gap <= self.config.abs_gap_tol
                     || stats.gap <= self.config.rel_gap_tol
                 {
@@ -561,7 +565,7 @@ impl BranchAndBound {
             match self.most_fractional(&current.values, int_vars) {
                 None => {
                     let (obj, values) = self.snap(model, &current, int_vars);
-                    if model.violations(&values, 1e-5).is_empty() {
+                    if model.violations(&values, tol::DUAL_FEAS).is_empty() {
                         return Some((obj, values));
                     }
                     return None;

@@ -8,6 +8,9 @@
 //! meaningful win on RAS models whose spread objectives make many
 //! assignment variables fractional at the LP optimum.
 
+use crate::nan::NanGuard;
+use crate::tol;
+
 /// Per-variable, per-direction pseudo-cost bookkeeping.
 #[derive(Debug, Clone, Default)]
 struct PseudoCost {
@@ -62,9 +65,9 @@ impl PseudoCosts {
     /// part `frac` (for down) / `1 − frac` (for up), and the child LP's
     /// objective rose by `degradation` (clamped at 0).
     pub fn record(&mut self, var: usize, went_up: bool, frac: f64, degradation: f64) {
-        let degradation = degradation.max(0.0);
+        let degradation = degradation.nmax(0.0);
         let distance = if went_up { 1.0 - frac } else { frac };
-        if distance < 1e-9 {
+        if distance < tol::EPS {
             return;
         }
         let per_unit = degradation / distance;
@@ -96,8 +99,8 @@ impl PseudoCosts {
             self.global_sum / self.global_n as f64
         };
         let pc = &self.costs[var];
-        let down = (pc.down(fallback) * frac).max(1e-6);
-        let up = (pc.up(fallback) * (1.0 - frac)).max(1e-6);
+        let down = (pc.down(fallback) * frac).max(tol::PRIMAL_FEAS);
+        let up = (pc.up(fallback) * (1.0 - frac)).nmax(tol::PRIMAL_FEAS);
         down * up
     }
 }

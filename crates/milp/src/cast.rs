@@ -68,6 +68,38 @@ pub fn floor_i32(v: f64) -> i32 {
     }
 }
 
+/// Rounds down and converts to `usize`.
+///
+/// NaN and negative values map to 0; overflow clamps to `usize::MAX`.
+/// Debug builds assert the input is not NaN.
+pub fn floor_usize(v: f64) -> usize {
+    debug_assert!(!v.is_nan(), "floor_usize on NaN");
+    to_usize(v.floor())
+}
+
+/// Clamps a solver integer value (e.g. an LP `int_value`) to a
+/// non-negative count.
+pub fn nonneg_usize(v: i64) -> usize {
+    v.max(0) as usize
+}
+
+/// Widens a packed `u32` index (the sparse-matrix / LU storage type)
+/// back to `usize`. Infallible on every platform this solver targets;
+/// the named call marks the site as a deliberate index-width change.
+#[inline]
+pub fn idx(i: u32) -> usize {
+    i as usize
+}
+
+/// Packs a `usize` index into the `u32` the sparse-matrix / LU storage
+/// uses. Matrix dimensions are far below `u32::MAX`; debug builds
+/// assert it.
+#[inline]
+pub fn idx32(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "index {i} does not fit u32");
+    i as u32
+}
+
 /// Shared clamp of an already-rounded value into `usize`.
 fn to_usize(r: f64) -> usize {
     if r.is_nan() || r <= 0.0 {
@@ -112,5 +144,25 @@ mod tests {
         assert_eq!(floor_i32(-3.1), -4);
         assert_eq!(floor_i32(1e300), i32::MAX);
         assert_eq!(floor_i32(-1e300), i32::MIN);
+    }
+
+    #[test]
+    fn floor_usize_clamps_negatives_to_zero() {
+        assert_eq!(floor_usize(3.9), 3);
+        assert_eq!(floor_usize(-0.1), 0);
+        assert_eq!(floor_usize(f64::INFINITY), usize::MAX);
+    }
+
+    #[test]
+    fn nonneg_usize_clamps() {
+        assert_eq!(nonneg_usize(-3), 0);
+        assert_eq!(nonneg_usize(42), 42);
+    }
+
+    #[test]
+    fn index_pack_round_trips() {
+        assert_eq!(idx(7), 7usize);
+        assert_eq!(idx32(7), 7u32);
+        assert_eq!(idx(idx32(123_456)), 123_456);
     }
 }

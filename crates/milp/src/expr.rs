@@ -6,6 +6,7 @@
 
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
+use crate::tol;
 use serde::{Deserialize, Serialize};
 
 /// A decision variable handle, valid for the [`Model`] that created it.
@@ -85,7 +86,7 @@ impl LinExpr {
                 _ => out.push((v, c)),
             }
         }
-        out.retain(|(_, c)| c.abs() > 1e-12 || !c.is_finite());
+        out.retain(|(_, c)| c.abs() > tol::DROP || !c.is_finite());
         self.terms = out;
     }
 
@@ -102,7 +103,7 @@ impl LinExpr {
 
     /// True when the expression has no variable terms.
     pub fn is_constant(&self) -> bool {
-        self.terms.iter().all(|(_, c)| c.abs() <= 1e-12)
+        self.terms.iter().all(|(_, c)| c.abs() <= tol::DROP)
     }
 }
 

@@ -57,11 +57,13 @@ pub mod localsearch;
 pub mod lpfile;
 pub mod lu;
 pub mod model;
+pub mod nan;
 pub mod presolve;
 pub mod simplex;
 pub mod solution;
 pub mod sparse;
 pub mod standard;
+pub mod tol;
 
 pub use audit::{AuditCheck, AuditConfig, AuditIssue, AuditMode, AuditReport, Severity};
 pub use branch::BranchAndBound;

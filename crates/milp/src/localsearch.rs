@@ -12,7 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{Model, Sense, VarType};
+use crate::nan;
+use crate::nan::NanGuard;
 use crate::solution::{Solution, SolveError, SolveStats, Status};
+use crate::tol;
 
 /// Configuration for the local-search backend.
 #[derive(Debug, Clone)]
@@ -107,8 +110,8 @@ impl LocalSearch {
         let violation = |ci: usize, act: f64| -> f64 {
             let c = &model.constraints()[ci];
             match c.sense {
-                Sense::Le => (act - c.rhs).max(0.0),
-                Sense::Ge => (c.rhs - act).max(0.0),
+                Sense::Le => (act - c.rhs).nmax(0.0),
+                Sense::Ge => (c.rhs - act).nmax(0.0),
                 Sense::Eq => (act - c.rhs).abs(),
             }
         };
@@ -119,13 +122,13 @@ impl LocalSearch {
         let obj_scale = obj_coeff
             .iter()
             .map(|c| c.abs())
-            .fold(0.0, f64::max)
-            .max(1.0);
+            .fold(0.0, nan::fmax)
+            .nmax(1.0);
         let mut temperature = self.config.initial_temperature * obj_scale;
         let cooling = 0.999_97f64;
 
         let mut best: Option<(f64, Vec<f64>)> = None;
-        if total_violation <= 1e-9 {
+        if total_violation <= tol::EPS {
             best = Some((objective, values.clone()));
         }
         let mut proposals = 0usize;
@@ -142,7 +145,7 @@ impl LocalSearch {
             let delta = match info.ty {
                 VarType::Continuous => {
                     let span = if info.upper.is_finite() && info.lower.is_finite() {
-                        (info.upper - info.lower).max(1e-9)
+                        (info.upper - info.lower).max(tol::EPS)
                     } else {
                         1.0 + values[j].abs()
                     };
@@ -181,7 +184,7 @@ impl LocalSearch {
             let dobj = obj_coeff[j] * real_delta;
             let dscore = dobj + self.config.penalty * dv;
             let accept = dscore < 0.0
-                || (temperature > 1e-12 && rng.gen::<f64>() < (-dscore / temperature).exp());
+                || (temperature > tol::DROP && rng.gen::<f64>() < (-dscore / temperature).exp());
             if accept {
                 for &(ci, coeff) in &columns[j] {
                     activity[ci] += coeff * real_delta;
@@ -189,7 +192,7 @@ impl LocalSearch {
                 values[j] = new_val;
                 objective += dobj;
                 total_violation += dv;
-                if total_violation <= 1e-9 {
+                if total_violation <= tol::EPS {
                     match &best {
                         Some((b, _)) if objective >= *b => {}
                         _ => best = Some((objective, values.clone())),

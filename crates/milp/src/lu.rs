@@ -16,7 +16,10 @@
 //!   pivot, keeping the factorization genuinely triangular so `ftran` /
 //!   `btran` residuals stay bounded between refactorizations.
 
+use crate::cast;
+use crate::nan::NanGuard;
 use crate::sparse::CscStore;
+use crate::tol;
 
 /// Sparse LU factors of a square basis matrix `B`.
 ///
@@ -77,6 +80,7 @@ impl LuFactors {
     /// Factorizes the basis whose columns are `columns[slot]` as sparse
     /// `(row, value)` lists. Returns `None` when the basis is numerically
     /// singular (no remaining pivot exceeds `pivot_tol` in magnitude).
+    // lint:allow(hot-path-index): Markowitz elimination kernel; row/col indices live in the m-sized pattern built above
     pub fn factorize(m: usize, columns: &[Vec<(usize, f64)>], pivot_tol: f64) -> Option<Self> {
         assert_eq!(columns.len(), m, "basis must be square");
         // Static column order: fewest nonzeros first. Identity-like
@@ -103,7 +107,7 @@ impl LuFactors {
         let mut stack: Vec<(usize, usize)> = Vec::new();
 
         for (k, &slot) in order.iter().enumerate() {
-            let epoch = k as u32;
+            let epoch = cast::idx32(k);
             pattern.clear();
             reach.clear();
             // Scatter the column into the workspace.
@@ -217,6 +221,7 @@ impl LuFactors {
     /// Solves `B z = v` in place (FTRAN): `v` enters indexed by
     /// constraint row and leaves indexed by basis slot. `scratch` must
     /// have length `m`.
+    // lint:allow(hot-path-index): triangular solve over m-length pivot_row/order permutation arrays
     pub fn ftran(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         // L solve (unit diagonal), column-oriented in step order.
@@ -249,6 +254,7 @@ impl LuFactors {
     /// Solves `Bᵀ y = v` in place (BTRAN): `v` enters indexed by basis
     /// slot and leaves indexed by constraint row. `scratch` must have
     /// length `m`.
+    // lint:allow(hot-path-index): triangular solve over m-length pivot_row/order permutation arrays
     pub fn btran(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         // Permute into step space.
@@ -282,6 +288,7 @@ impl LuFactors {
     /// pivot-row extraction: `ρ = B⁻ᵀ e_r` feeds the α-row kernel that
     /// updates reduced costs incrementally. `scratch` must have length
     /// `m`; its prior contents are ignored.
+    // lint:allow(hot-path-index): triangular solve over m-length pivot_row/order permutation arrays
     pub fn btran_unit(&self, slot: usize, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         let k0 = self.step_of_slot[slot];
@@ -395,14 +402,15 @@ impl FtFactors {
     const MAX_MULTIPLIER: f64 = 1e12;
 
     /// Wraps a fresh factorization for in-place updates.
+    // lint:allow(hot-path-index): packs factors whose patterns were built over the same m columns
     pub fn from_lu(lu: LuFactors) -> Self {
         let m = lu.m;
         let mut u_cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
         let mut u_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
         for (k, col) in u_cols.iter_mut().enumerate() {
             for (t, uv) in lu.u.column(k) {
-                col.push((t as u32, uv));
-                u_rows[t].push((k as u32, uv));
+                col.push((cast::idx32(t), uv));
+                u_rows[t].push((cast::idx32(k), uv));
             }
         }
         let base_nnz = lu.l.nnz() + lu.u.nnz() + m;
@@ -415,8 +423,8 @@ impl FtFactors {
             u_cols,
             u_rows,
             diag: lu.u_diag,
-            order: (0..m as u32).collect(),
-            pos: (0..m as u32).collect(),
+            order: (0..cast::idx32(m)).collect(),
+            pos: (0..cast::idx32(m)).collect(),
             etas: Vec::new(),
             eta_entries: 0,
             base_nnz,
@@ -460,6 +468,7 @@ impl FtFactors {
     /// Solves `B z = v` in place (FTRAN): `v` enters indexed by
     /// constraint row and leaves indexed by basis slot. `scratch` must
     /// have length `m`.
+    // lint:allow(hot-path-index): triangular solve over m-length pivot_row/order permutation arrays
     pub fn ftran(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         // L solve (unit diagonal), column-oriented in step order; values
@@ -476,23 +485,23 @@ impl FtFactors {
         // update's sources are never its own target, so within one eta
         // the entries are order-independent.
         for eta in &self.etas {
-            let tr = self.pivot_row[eta.target as usize];
+            let tr = self.pivot_row[cast::idx(eta.target)];
             let mut s = v[tr];
             for &(src, mu) in &eta.entries {
-                s -= mu * v[self.pivot_row[src as usize]];
+                s -= mu * v[self.pivot_row[cast::idx(src)]];
             }
             v[tr] = s;
         }
         // U back-substitution, column-oriented in reverse *position*
         // order — the dynamic ordering is what updates keep triangular.
         for p in (0..m).rev() {
-            let k = self.order[p] as usize;
+            let k = cast::idx(self.order[p]);
             let pr = self.pivot_row[k];
             let z = v[pr] / self.diag[k];
             v[pr] = z;
             if z != 0.0 {
                 for &(r, uv) in &self.u_cols[k] {
-                    v[self.pivot_row[r as usize]] -= uv * z;
+                    v[self.pivot_row[cast::idx(r)]] -= uv * z;
                 }
             }
         }
@@ -506,6 +515,7 @@ impl FtFactors {
     /// Solves `Bᵀ y = v` in place (BTRAN): `v` enters indexed by basis
     /// slot and leaves indexed by constraint row. `scratch` must have
     /// length `m`.
+    // lint:allow(hot-path-index): triangular solve over m-length pivot_row/order permutation arrays
     pub fn btran(&self, v: &mut [f64], scratch: &mut [f64]) {
         let m = self.m;
         // Permute into step space.
@@ -521,7 +531,7 @@ impl FtFactors {
     /// valid with updates applied. `scratch` contents are ignored.
     pub fn btran_unit(&self, slot: usize, v: &mut [f64], scratch: &mut [f64]) {
         let t0 = self.step_of_slot[slot];
-        let p0 = self.pos[t0] as usize;
+        let p0 = cast::idx(self.pos[t0]);
         // Materialize the unit right-hand side (the incoming scratch is
         // dirty): zeros everywhere, one at the replaced step. Positions
         // before `p0` then stay zero through the skipped solve prefix.
@@ -535,25 +545,26 @@ impl FtFactors {
     /// `scratch`, step-indexed, with the raw right-hand side at later
     /// positions), then the eta transposes in reverse creation order,
     /// then the Lᵀ solve writing the row-indexed result into `v`.
+    // lint:allow(hot-path-index): eta/permutation indices bounded by m by the Forrest-Tomlin invariant
     fn btran_steps(&self, v: &mut [f64], scratch: &mut [f64], p_start: usize) {
         let m = self.m;
         // Uᵀ forward solve in ascending position order: every off-diagonal
         // of column `k` sits at an earlier position, already solved.
         for p in p_start..m {
-            let k = self.order[p] as usize;
+            let k = cast::idx(self.order[p]);
             let mut s = scratch[k];
             for &(t, uv) in &self.u_cols[k] {
-                s -= uv * scratch[t as usize];
+                s -= uv * scratch[cast::idx(t)];
             }
             scratch[k] = s / self.diag[k];
         }
         // Eta transposes in reverse creation order: sources update from
         // the (unmodified-within-this-eta) target.
         for eta in self.etas.iter().rev() {
-            let zt = scratch[eta.target as usize];
+            let zt = scratch[cast::idx(eta.target)];
             if zt != 0.0 {
                 for &(src, mu) in &eta.entries {
-                    scratch[src as usize] -= mu * zt;
+                    scratch[cast::idx(src)] -= mu * zt;
                 }
             }
         }
@@ -575,6 +586,7 @@ impl FtFactors {
     /// On `Err` the factors are untouched and the caller must
     /// refactorize: the numeric checks run against scratch state before
     /// anything is committed.
+    // lint:allow(hot-path-index): Forrest-Tomlin spike update; order/pos stay an m-permutation throughout
     pub fn update(&mut self, slot: usize, w: &[f64]) -> Result<(), FtReject> {
         let m = self.m;
         let t = self.step_of_slot[slot];
@@ -594,15 +606,15 @@ impl FtFactors {
             if self.spike_mark[k] != epoch {
                 self.spike_mark[k] = epoch;
                 self.spike[k] = 0.0;
-                self.spike_pat.push(k as u32);
+                self.spike_pat.push(cast::idx32(k));
             }
             self.spike[k] += self.diag[k] * wk;
             for &(r, uv) in &self.u_cols[k] {
-                let r = r as usize;
+                let r = cast::idx(r);
                 if self.spike_mark[r] != epoch {
                     self.spike_mark[r] = epoch;
                     self.spike[r] = 0.0;
-                    self.spike_pat.push(r as u32);
+                    self.spike_pat.push(cast::idx32(r));
                 }
                 self.spike[r] += uv * wk;
             }
@@ -614,9 +626,9 @@ impl FtFactors {
         // replacement column's contribution is tracked through the spike
         // values instead, which is exactly the new diagonal
         // `d_t = spike_t − Σ mu_j · spike_{s_j}`.
-        let old_pos = self.pos[t] as usize;
+        let old_pos = cast::idx(self.pos[t]);
         for &(s, uv) in &self.u_rows[t] {
-            let s_us = s as usize;
+            let s_us = cast::idx(s);
             self.roww_mark[s_us] = epoch;
             self.roww[s_us] = uv;
         }
@@ -628,10 +640,10 @@ impl FtFactors {
         };
         let mut spike_scale = d_t.abs();
         for &k in &self.spike_pat {
-            spike_scale = spike_scale.max(self.spike[k as usize].abs());
+            spike_scale = spike_scale.nmax(self.spike[cast::idx(k)].abs());
         }
         for p in old_pos + 1..m {
-            let s = self.order[p] as usize;
+            let s = cast::idx(self.order[p]);
             if self.roww_mark[s] != epoch {
                 continue;
             }
@@ -643,7 +655,7 @@ impl FtFactors {
             if !mu.is_finite() || mu.abs() > Self::MAX_MULTIPLIER {
                 return Err(FtReject::UnstableMultiplier);
             }
-            eta_entries.push((s as u32, mu));
+            eta_entries.push((cast::idx32(s), mu));
             d_t -= mu
                 * if self.spike_mark[s] == epoch {
                     self.spike[s]
@@ -651,7 +663,7 @@ impl FtFactors {
                     0.0
                 };
             for &(t2, uv) in &self.u_rows[s] {
-                let t2_us = t2 as usize;
+                let t2_us = cast::idx(t2);
                 if t2_us == t {
                     continue;
                 }
@@ -662,45 +674,45 @@ impl FtFactors {
                 self.roww[t2_us] -= mu * uv;
             }
         }
-        if !d_t.is_finite() || d_t.abs() <= 1e-11 * (1.0 + spike_scale) {
+        if !d_t.is_finite() || d_t.abs() <= tol::SPIKE_MIN * (1.0 + spike_scale) {
             return Err(FtReject::SingularDiagonal);
         }
 
         // Commit. Delete old column `t` from the row mirror…
         for &(r, _) in &self.u_cols[t] {
-            remove_entry(&mut self.u_rows[r as usize], t as u32);
+            remove_entry(&mut self.u_rows[cast::idx(r)], cast::idx32(t));
         }
         self.u_cols[t].clear();
         // …and old row `t` from the column mirror.
         for &(s, _) in &self.u_rows[t] {
-            remove_entry(&mut self.u_cols[s as usize], t as u32);
+            remove_entry(&mut self.u_cols[cast::idx(s)], cast::idx32(t));
         }
         self.u_rows[t].clear();
         // Move `t` to the last position (everything after shifts left).
         for p in old_pos..m - 1 {
             let s = self.order[p + 1];
             self.order[p] = s;
-            self.pos[s as usize] = p as u32;
+            self.pos[cast::idx(s)] = cast::idx32(p);
         }
-        self.order[m - 1] = t as u32;
-        self.pos[t] = (m - 1) as u32;
+        self.order[m - 1] = cast::idx32(t);
+        self.pos[t] = cast::idx32(m - 1);
         // Record the row eta and insert the spike as the new column `t`.
         if !eta_entries.is_empty() {
             self.eta_entries += eta_entries.len();
             self.etas.push(FtEta {
-                target: t as u32,
+                target: cast::idx32(t),
                 entries: eta_entries,
             });
         }
         for &k in &self.spike_pat {
-            let k_us = k as usize;
+            let k_us = cast::idx(k);
             if k_us == t {
                 continue;
             }
             let val = self.spike[k_us];
             if val != 0.0 {
                 self.u_cols[t].push((k, val));
-                self.u_rows[k_us].push((t as u32, val));
+                self.u_rows[k_us].push((cast::idx32(t), val));
             }
         }
         self.diag[t] = d_t;

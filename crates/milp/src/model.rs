@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::branch::BranchAndBound;
 use crate::expr::{LinExpr, Var};
+use crate::nan::NanGuard;
 use crate::solution::{Solution, SolveConfig, SolveError};
+use crate::tol;
 
 /// Variable integrality class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,7 +84,7 @@ impl Model {
     /// For [`VarType::Binary`] the bounds are clamped to `[0, 1]`.
     pub fn add_var(&mut self, name: impl Into<String>, ty: VarType, lower: f64, upper: f64) -> Var {
         let (lower, upper) = match ty {
-            VarType::Binary => (lower.max(0.0), upper.min(1.0)),
+            VarType::Binary => (lower.nmax(0.0), upper.nmin(1.0)),
             _ => (lower, upper),
         };
         let var = Var(u32::try_from(self.vars.len()).unwrap_or_else(|_| {
@@ -164,7 +166,7 @@ impl Model {
     /// Panics if the new interval is empty by more than a small tolerance.
     pub fn set_bounds(&mut self, var: Var, lower: f64, upper: f64) {
         assert!(
-            lower <= upper + 1e-9,
+            lower <= upper + tol::EPS,
             "empty bound interval [{lower}, {upper}] for {}",
             self.vars[var.index()].name
         );

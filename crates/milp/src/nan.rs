@@ -1,0 +1,68 @@
+//! NaN-deliberate `f64` min/max.
+//!
+//! IEEE `f64::min`/`f64::max` silently *discard* a NaN operand:
+//! `f64::NAN.max(0.0)` is `0.0`, and a `fold(0.0, f64::max)` over a
+//! slice containing NaN returns the max of the other elements. In
+//! solver code that behavior launders a NaN objective, reduced cost or
+//! shortfall into a plausible number instead of failing the audit. The
+//! repo's `nan-min-max` lint (`cargo xtask lint`) flags raw float
+//! min/max and points it here.
+//!
+//! These helpers keep the exact release-build semantics of the raw
+//! operations (so swapping them in changes nothing in production) but
+//! `debug_assert!` that neither operand is NaN, so test and CI builds —
+//! which run with debug assertions on — catch the poisoned value at the
+//! comparison instead of downstream.
+
+/// `a.max(b)`, debug-asserting neither operand is NaN.
+///
+/// Usable as a function value: `xs.iter().copied().fold(0.0, nan::fmax)`.
+pub fn fmax(a: f64, b: f64) -> f64 {
+    debug_assert!(!a.is_nan() && !b.is_nan(), "fmax on NaN: {a} vs {b}");
+    a.max(b)
+}
+
+/// `a.min(b)`, debug-asserting neither operand is NaN.
+pub fn fmin(a: f64, b: f64) -> f64 {
+    debug_assert!(!a.is_nan() && !b.is_nan(), "fmin on NaN: {a} vs {b}");
+    a.min(b)
+}
+
+/// Method-call spelling of [`fmax`]/[`fmin`], so a flagged
+/// `x.max(0.0)` becomes `x.nmax(0.0)` without restructuring the
+/// expression.
+pub trait NanGuard {
+    fn nmax(self, other: f64) -> f64;
+    fn nmin(self, other: f64) -> f64;
+}
+
+impl NanGuard for f64 {
+    fn nmax(self, other: f64) -> f64 {
+        fmax(self, other)
+    }
+    fn nmin(self, other: f64) -> f64 {
+        fmin(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_ieee_on_normal_values() {
+        assert_eq!(fmax(1.0, 2.0), 2.0);
+        assert_eq!(fmin(1.0, 2.0), 1.0);
+        assert_eq!(fmax(f64::NEG_INFINITY, 0.0), 0.0);
+        assert_eq!(fmin(f64::INFINITY, 3.0), 3.0);
+        assert_eq!((-1.5).nmax(0.0), 0.0);
+        assert_eq!(2.5.nmin(2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fmax on NaN")]
+    #[cfg(debug_assertions)]
+    fn nan_operand_asserts_in_debug() {
+        fmax(f64::NAN, 0.0);
+    }
+}

@@ -9,6 +9,7 @@
 //! the tree smaller.
 
 use crate::model::{Model, Sense, VarType};
+use crate::tol;
 
 /// Result of presolve: tightened `(lower, upper)` per variable.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +51,7 @@ pub fn tighten(model: &Model) -> Result<Tightened, PresolveError> {
         }
     }
 
-    let tol = 1e-9;
+    let tol = tol::EPS;
     for _pass in 0..10 {
         let mut pass_changes = 0usize;
         for c in model.constraints() {
@@ -72,9 +73,15 @@ pub fn tighten(model: &Model) -> Result<Tightened, PresolveError> {
             }
             // Feasibility of the row itself.
             match c.sense {
-                Sense::Le if act_min > c.rhs + 1e-6 => return Err(PresolveError::Infeasible),
-                Sense::Ge if act_max < c.rhs - 1e-6 => return Err(PresolveError::Infeasible),
-                Sense::Eq if act_min > c.rhs + 1e-6 || act_max < c.rhs - 1e-6 => {
+                Sense::Le if act_min > c.rhs + tol::PRIMAL_FEAS => {
+                    return Err(PresolveError::Infeasible)
+                }
+                Sense::Ge if act_max < c.rhs - tol::PRIMAL_FEAS => {
+                    return Err(PresolveError::Infeasible)
+                }
+                Sense::Eq
+                    if act_min > c.rhs + tol::PRIMAL_FEAS || act_max < c.rhs - tol::PRIMAL_FEAS =>
+                {
                     return Err(PresolveError::Infeasible)
                 }
                 _ => {}
@@ -87,7 +94,7 @@ pub fn tighten(model: &Model) -> Result<Tightened, PresolveError> {
                 Sense::Eq => (c.rhs, c.rhs),
             };
             for &(v, coeff) in &c.expr.terms {
-                if coeff.abs() < 1e-12 {
+                if coeff.abs() < tol::DROP {
                     continue;
                 }
                 let j = v.index();
@@ -131,21 +138,21 @@ pub fn tighten(model: &Model) -> Result<Tightened, PresolveError> {
                 };
                 if model.vars()[j].ty != VarType::Continuous {
                     new_l = if new_l.is_finite() {
-                        (new_l - 1e-7).ceil()
+                        (new_l - tol::OPT).ceil()
                     } else {
                         new_l
                     };
                     new_u = if new_u.is_finite() {
-                        (new_u + 1e-7).floor()
+                        (new_u + tol::OPT).floor()
                     } else {
                         new_u
                     };
                 }
-                if new_l > l + 1e-7 {
+                if new_l > l + tol::OPT {
                     lower[j] = new_l;
                     pass_changes += 1;
                 }
-                if new_u < u - 1e-7 {
+                if new_u < u - tol::OPT {
                     upper[j] = new_u;
                     pass_changes += 1;
                 }

@@ -1,5 +1,6 @@
 //! Solver results, statistics, and configuration.
 
+use crate::tol;
 use serde::{Deserialize, Serialize};
 
 /// Final status of a MIP solve.
@@ -189,9 +190,9 @@ impl Default for SolveConfig {
         Self {
             time_limit_seconds: 60.0,
             max_nodes: 100_000,
-            rel_gap_tol: 1e-6,
-            abs_gap_tol: 1e-6,
-            int_tol: 1e-6,
+            rel_gap_tol: tol::PRIMAL_FEAS,
+            abs_gap_tol: tol::PRIMAL_FEAS,
+            int_tol: tol::PRIMAL_FEAS,
             max_lp_iterations: 200_000,
             pricing: crate::simplex::PricingRule::default(),
             dual_pricing: crate::simplex::DualPricingRule::default(),

@@ -1,5 +1,6 @@
 //! Compressed sparse column (CSC) matrix used by the simplex engine.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 
 /// A read-only CSC matrix with a row-major mirror.
@@ -50,7 +51,7 @@ impl CscMatrix {
             }
             for (r, v) in merged {
                 if v != 0.0 {
-                    row_idx.push(r as u32);
+                    row_idx.push(cast::idx32(r));
                     values.push(v);
                 }
             }
@@ -60,7 +61,7 @@ impl CscMatrix {
         // one pass to place every entry in column order within its row.
         let mut row_starts = vec![0usize; rows + 1];
         for &r in &row_idx {
-            row_starts[r as usize + 1] += 1;
+            row_starts[cast::idx(r) + 1] += 1;
         }
         for i in 0..rows {
             row_starts[i + 1] += row_starts[i];
@@ -70,8 +71,8 @@ impl CscMatrix {
         let mut row_values = vec![0.0f64; row_idx.len()];
         for col in 0..columns.len() {
             for k in col_starts[col]..col_starts[col + 1] {
-                let r = row_idx[k] as usize;
-                col_idx[cursor[r]] = col as u32;
+                let r = cast::idx(row_idx[k]);
+                col_idx[cursor[r]] = cast::idx32(col);
                 row_values[cursor[r]] = values[k];
                 cursor[r] += 1;
             }
@@ -110,7 +111,7 @@ impl CscMatrix {
         self.row_idx[start..end]
             .iter()
             .zip(&self.values[start..end])
-            .map(|(r, v)| (*r as usize, *v))
+            .map(|(r, v)| (cast::idx(*r), *v))
     }
 
     /// Computes the dot product `yᵀ A_j` for one column.
@@ -133,7 +134,7 @@ impl CscMatrix {
         self.col_idx[start..end]
             .iter()
             .zip(&self.row_values[start..end])
-            .map(|(c, v)| (*c as usize, *v))
+            .map(|(c, v)| (cast::idx(*c), *v))
     }
 
     /// Number of stored nonzeros in one row.
@@ -186,7 +187,7 @@ impl CscStore {
 
     /// Appends one entry to the open (not yet finished) column.
     pub fn push_entry(&mut self, row: usize, value: f64) {
-        self.row_idx.push(row as u32);
+        self.row_idx.push(cast::idx32(row));
         self.values.push(value);
     }
 
@@ -217,7 +218,7 @@ impl CscStore {
         self.row_idx[start..end]
             .iter()
             .zip(&self.values[start..end])
-            .map(|(r, v)| (*r as usize, *v))
+            .map(|(r, v)| (cast::idx(*r), *v))
     }
 }
 

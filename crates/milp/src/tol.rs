@@ -1,0 +1,50 @@
+//! Named numerical tolerances for the solver stack.
+//!
+//! Every epsilon the simplex, LU, presolve, branching and region-solve
+//! code compares against lives here under one name per magnitude, so
+//! the values cannot drift apart between call sites. The repo's
+//! `tolerance-literal` lint (`cargo xtask lint`) flags any inline
+//! `1e-…` literal in solver expression code and points it at this
+//! module; `const` initializers are exempt, so downstream crates may
+//! still derive their own named constants from these.
+//!
+//! The magnitudes are the conventional revised-simplex settings (cf.
+//! Chvátal ch. 24; CPLEX/Gurobi default tolerances are the same orders)
+//! and match the values the seed solver shipped with — introducing this
+//! module changed no behavior.
+
+/// MIP relative-gap target: accept an incumbent within 0.01% of the
+/// best bound.
+pub const GAP_REL: f64 = 1e-4;
+
+/// Dual feasibility: reduced costs within this of zero are treated as
+/// non-improving.
+pub const DUAL_FEAS: f64 = 1e-5;
+
+/// Primal feasibility and integrality: constraint violations and
+/// fractional parts below this are ignored.
+pub const PRIMAL_FEAS: f64 = 1e-6;
+
+/// Simplex optimality / accuracy-check tolerance, also used when
+/// presolve rounds tightened integer bounds.
+pub const OPT: f64 = 1e-7;
+
+/// Generic strict-improvement epsilon: pivot admissibility, shortfall
+/// and headroom comparisons, "is this meaningfully positive" tests.
+pub const EPS: f64 = 1e-9;
+
+/// Smallest constraint-coefficient magnitude the model audit accepts
+/// before flagging likely scaling trouble.
+pub const COEFF_MIN: f64 = 1e-10;
+
+/// Forrest–Tomlin spike-diagonal floor: below this (relative to the
+/// spike scale) the update is rejected and a refactorization forced.
+pub const SPIKE_MIN: f64 = 1e-11;
+
+/// Coefficient drop threshold, ratio-test tie window and LU pivot
+/// floor: magnitudes below this count as zero.
+pub const DROP: f64 = 1e-12;
+
+/// BTRAN eta-component floor: components this small are skipped when
+/// applying stored eta vectors.
+pub const RHO_MIN: f64 = 1e-13;

@@ -81,6 +81,9 @@ use crate::classes::{build_classes_counted, EquivClass, Granularity};
 use crate::model::solver_visible;
 use crate::reservation::ReservationSpec;
 use ras_milp::cast;
+use ras_milp::nan;
+use ras_milp::nan::NanGuard;
+use ras_milp::tol;
 
 /// How aggressively one solve aggregates before solving.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -646,7 +649,7 @@ fn split_cluster(
     let max_iters = 2 * total_units + 16;
     for _ in 0..max_iters {
         let shortfalls: Vec<f64> = (0..m)
-            .map(|j| (caps[j] - effective(&totals, &assigned, j)).max(0.0))
+            .map(|j| (caps[j] - effective(&totals, &assigned, j)).nmax(0.0))
             .collect();
         let (worst, worst_short) =
             shortfalls
@@ -659,7 +662,7 @@ fn split_cluster(
                         acc
                     }
                 });
-        if worst_short <= 1e-9 {
+        if worst_short <= tol::EPS {
             break;
         }
         // Best transfer: (total-shortfall reduction, preserves stays,
@@ -676,11 +679,11 @@ fn split_cluster(
                         assigned[k]
                             .iter()
                             .map(|(mm, u)| if *mm == msb { u - v } else { *u })
-                            .fold(0.0f64, f64::max)
+                            .fold(0.0f64, nan::fmax)
                     } else {
                         0.0
                     };
-                    (caps[k] - (new_total - max_after)).max(0.0)
+                    (caps[k] - (new_total - max_after)).nmax(0.0)
                 };
                 let worst_short_after = {
                     let new_total = totals[worst] + v;
@@ -695,11 +698,11 @@ fn split_cluster(
                     } else {
                         0.0
                     };
-                    (caps[worst] - (new_total - new_max)).max(0.0)
+                    (caps[worst] - (new_total - new_max)).nmax(0.0)
                 };
                 let delta =
                     (shortfalls[worst] + shortfalls[k]) - (worst_short_after + donor_short_after);
-                if delta <= 1e-9 {
+                if delta <= tol::EPS {
                     continue;
                 }
                 let keeps_stays = full[ci][members[k]] > stay_floor[ai][k];
@@ -762,11 +765,11 @@ fn split_cluster(
                     .chain(out.iter().map(|(_, mm)| mm))
                     .chain(inn.iter().map(|(_, mm)| mm))
                     .map(|&mm| by_msb(mm))
-                    .fold(0.0f64, f64::max)
+                    .fold(0.0f64, nan::fmax)
             } else {
                 0.0
             };
-            (caps[j] - (new_total - new_max)).max(0.0)
+            (caps[j] - (new_total - new_max)).nmax(0.0)
         };
         let mut best_swap: Option<(f64, usize, usize, usize)> = None; // (delta, ao, ain, k)
         if let Some(peak) = worst_max_msb {
@@ -786,7 +789,7 @@ fn split_cluster(
                         let donor_after = eval_pair(k, Some((vi, mi)), Some((vo, mo)));
                         let delta =
                             (shortfalls[worst] + shortfalls[k]) - (worst_after + donor_after);
-                        if delta > 1e-9
+                        if delta > tol::EPS
                             && best_swap.as_ref().is_none_or(|&(bd, _, _, _)| delta > bd)
                         {
                             best_swap = Some((delta, ao, ain, k));
@@ -835,7 +838,7 @@ fn split_cluster(
     for j in 0..m {
         loop {
             let short = caps[j] - effective(&totals, &assigned, j);
-            if short <= 1e-9 {
+            if short <= tol::EPS {
                 break;
             }
             let old_max = if buffered {
@@ -845,11 +848,11 @@ fn split_cluster(
             };
             let mut pick: Option<(usize, f64, u32)> = None;
             for &(ci, v, msb) in &active {
-                if v <= 1e-12 || avail(ci, borrowed) == 0 {
+                if v <= tol::DROP || avail(ci, borrowed) == 0 {
                     continue;
                 }
                 let in_msb = assigned[j].get(&msb).copied().unwrap_or(0.0);
-                if buffered && in_msb + v > old_max + 1e-9 {
+                if buffered && in_msb + v > old_max + tol::EPS {
                     continue;
                 }
                 // Smallest RRU value wins: it overshoots the gap least.
@@ -866,7 +869,7 @@ fn split_cluster(
         }
     }
     let residual: f64 = (0..m)
-        .map(|j| (caps[j] - effective(&totals, &assigned, j)).max(0.0))
+        .map(|j| (caps[j] - effective(&totals, &assigned, j)).nmax(0.0))
         .sum();
     stats.shortfall_rru += residual;
 }

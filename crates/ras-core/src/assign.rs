@@ -14,6 +14,7 @@ use ras_broker::{BrokerSnapshot, ReservationId};
 use ras_topology::{Region, ServerId};
 
 use crate::classes::EquivClass;
+use ras_milp::cast;
 
 /// Applies class counts to servers, producing a full target assignment.
 ///
@@ -75,7 +76,10 @@ pub fn concretize(
                     .min_by_key(|(_, s)| {
                         let rack = region.server(**s).rack.0;
                         (
-                            rack_load.get(&(rack, ri as u32)).copied().unwrap_or(0),
+                            rack_load
+                                .get(&(rack, cast::idx32(ri)))
+                                .copied()
+                                .unwrap_or(0),
                             s.index(),
                         )
                     })
@@ -86,7 +90,7 @@ pub fn concretize(
                 let s = unclaimed.swap_remove(best_pos);
                 targets[s.index()] = Some(res);
                 let rack = region.server(s).rack.0;
-                *rack_load.entry((rack, ri as u32)).or_default() += 1;
+                *rack_load.entry((rack, cast::idx32(ri))).or_default() += 1;
             }
         }
         // Whatever is left becomes free-pool capacity (target None).

@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::reservation::{ReservationKind, ReservationSpec};
 use crate::rru::RruTable;
+use ras_milp::nan;
+use ras_milp::tol;
 
 /// Builds the shared random-failure buffer reservations: one per hardware
 /// type, each sized at `fraction` of that type's fleet (Section 3.5.3:
@@ -143,7 +145,7 @@ pub fn min_max_msb_rru(per_msb: &[f64], capacity: f64) -> Option<f64> {
     }
     // Binary search the water level t: Σ min(cap_G, t) >= capacity.
     let mut lo = 0.0;
-    let mut hi = per_msb.iter().cloned().fold(0.0, f64::max);
+    let mut hi = per_msb.iter().cloned().fold(0.0, nan::fmax);
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
         let filled: f64 = per_msb.iter().map(|c| c.min(mid)).sum();
@@ -171,7 +173,7 @@ pub fn optimal_share_bound(region: &Region, spec: &ReservationSpec) -> Option<f6
         per_msb[s.msb.index()] += spec.rru.value(s.hardware);
     }
     let min_max = min_max_msb_rru(&per_msb, spec.capacity)?;
-    Some(min_max / spec.capacity.max(1e-9))
+    Some(min_max / spec.capacity.max(tol::EPS))
 }
 
 #[cfg(test)]

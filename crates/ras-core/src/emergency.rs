@@ -11,6 +11,7 @@ use ras_topology::{Region, ServerId};
 
 use crate::error::CoreError;
 use crate::reservation::ReservationSpec;
+use ras_milp::tol;
 
 /// The emergency allocator: immediate, guarantee-free grants.
 #[derive(Debug, Default, Clone)]
@@ -64,7 +65,7 @@ impl EmergencyPath {
             got += v;
             granted.push(server.id);
         }
-        if got + 1e-9 < rru_amount {
+        if got + tol::EPS < rru_amount {
             return Err(CoreError::CapacityUnavailable {
                 shortfalls: vec![(reservation, rru_amount - got)],
             });

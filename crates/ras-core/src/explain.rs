@@ -19,6 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::buffers;
 use crate::reservation::ReservationSpec;
+use ras_milp::nan;
+use ras_milp::tol;
 
 /// One hardware line of the explanation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -99,7 +101,7 @@ pub fn explain(
         .collect();
     hardware.sort_by(|a, b| b.rrus.total_cmp(&a.rrus));
 
-    let max_msb = per_msb.iter().cloned().fold(0.0, f64::max);
+    let max_msb = per_msb.iter().cloned().fold(0.0, nan::fmax);
     let msbs_used = per_msb.iter().filter(|v| **v > 0.0).count();
     let max_msb_share = if allocated > 0.0 {
         max_msb / allocated
@@ -122,7 +124,7 @@ pub fn explain(
         .collect();
 
     let mut findings = Vec::new();
-    if allocated + 1e-9 < spec.capacity {
+    if allocated + tol::EPS < spec.capacity {
         findings.push(format!(
             "UNDER-ALLOCATED: holds {allocated:.0} of {:.0} requested RRUs — the \
              region lacks eligible capacity or a constraint was softened",
@@ -144,7 +146,7 @@ pub fn explain(
         ));
     }
     if let Some(limit) = spec.spread.msb_share {
-        if max_msb_share > limit + 1e-9 {
+        if max_msb_share > limit + tol::EPS {
             findings.push(format!(
                 "max-MSB share {:.1}% exceeds the {:.1}% policy — eligible hardware \
                  is concentrated in few MSBs",
@@ -160,7 +162,7 @@ pub fn explain(
     }
     let survives = allocated - max_msb;
     if spec.survives_msb_loss() {
-        if survives + 1e-9 >= spec.capacity {
+        if survives + tol::EPS >= spec.capacity {
             findings.push(format!(
                 "embedded buffer OK: any single MSB failure leaves {survives:.0} ≥ {:.0} RRUs",
                 spec.capacity
@@ -176,7 +178,7 @@ pub fn explain(
         for dc in region.datacenters() {
             let want = aff.share(dc.id);
             let have = dc_shares[dc.id.index()].1;
-            if (have - want).abs() > aff.tolerance + 1e-9 {
+            if (have - want).abs() > aff.tolerance + tol::EPS {
                 findings.push(format!(
                     "affinity deviation in {}: {:.0}% vs desired {:.0}% (±{:.0}%)",
                     dc.name,

@@ -12,6 +12,9 @@ use crate::classes::EquivClass;
 use crate::model::solver_visible;
 use crate::params::SolverParams;
 use crate::reservation::ReservationSpec;
+use ras_milp::cast;
+use ras_milp::nan;
+use ras_milp::nan::NanGuard;
 use ras_topology::Region;
 
 /// Greedily assigns class counts to reservations.
@@ -74,8 +77,8 @@ pub fn greedy_counts(
         // when an embedded buffer needs the max-MSB footprint kept low;
         // unlimited otherwise (e.g. single-DC ML reservations).
         let mut quota = match (spec.spread.msb_share, buffered) {
-            (Some(alpha), _) => (alpha * spec.capacity).max(1.0),
-            (None, true) => (params.default_msb_share * spec.capacity).max(1.0),
+            (Some(alpha), _) => (alpha * spec.capacity).nmax(1.0),
+            (None, true) => (params.default_msb_share * spec.capacity).nmax(1.0),
             (None, false) => f64::INFINITY,
         };
         // Affinity share of each MSB's datacenter, for visit priority.
@@ -86,7 +89,7 @@ pub fn greedy_counts(
             })
             .collect();
         let satisfied = |total: f64, per_msb: &[f64]| {
-            let max = per_msb.iter().cloned().fold(0.0, f64::max);
+            let max = per_msb.iter().cloned().fold(0.0, nan::fmax);
             if buffered {
                 total - max >= spec.capacity
             } else {
@@ -126,12 +129,12 @@ pub fn greedy_counts(
                         let v = spec.rru.value(class.hardware);
                         let msb_room = (quota - per_msb[mi]) / v;
                         let dc_room = (dc_cap[msb_dc[mi]] - per_dc[msb_dc[mi]]) / v;
-                        let room = msb_room.min(dc_room).floor().max(0.0) as usize;
+                        let room = cast::floor_usize(msb_room.nmin(dc_room));
                         let take = remaining[ci].min(room.max(1));
                         // Never breach the hard DC cap (the MSB quota is
                         // soft and may be exceeded by one server).
                         let take = if v * take as f64 + per_dc[msb_dc[mi]] > dc_cap[msb_dc[mi]] {
-                            (dc_room.floor().max(0.0)) as usize
+                            cast::floor_usize(dc_room)
                         } else {
                             take
                         }

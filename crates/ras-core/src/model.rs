@@ -30,6 +30,9 @@ use serde::{Deserialize, Serialize};
 use crate::classes::EquivClass;
 use crate::params::SolverParams;
 use crate::reservation::{ReservationKind, ReservationSpec};
+use ras_milp::cast;
+use ras_milp::nan;
+use ras_milp::nan::NanGuard;
 
 /// Per-constraint violation levels of the current assignment, used as
 /// slack bounds when softening.
@@ -91,7 +94,7 @@ impl RasModel {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|v| v.map_or(0, |var| solution.int_value(var).max(0) as usize))
+                    .map(|v| v.map_or(0, |var| cast::nonneg_usize(solution.int_value(var))))
                     .collect()
             })
             .collect()
@@ -116,8 +119,8 @@ impl RasModel {
         }
         for (var, def) in &self.aux_defs {
             values[var.index()] = match def {
-                AuxInit::MaxZero(e) => e.eval(&values).max(0.0),
-                AuxInit::MaxOver(es) => es.iter().map(|e| e.eval(&values)).fold(0.0, f64::max),
+                AuxInit::MaxZero(e) => e.eval(&values).nmax(0.0),
+                AuxInit::MaxOver(es) => es.iter().map(|e| e.eval(&values)).fold(0.0, nan::fmax),
                 AuxInit::Clamp(e, bound) => e.eval(&values).clamp(0.0, *bound),
                 AuxInit::ClampAbs(e, sub, bound) => {
                     (e.eval(&values).abs() - sub).clamp(0.0, *bound)
@@ -209,18 +212,18 @@ pub fn soften_baseline(
             continue;
         }
         let effective = if spec.survives_msb_loss() {
-            let max_msb = by_msb[ri].iter().cloned().fold(0.0, f64::max);
+            let max_msb = by_msb[ri].iter().cloned().fold(0.0, nan::fmax);
             total[ri] - max_msb
         } else {
             total[ri]
         };
-        capacity_shortfall[ri] = (spec.capacity - effective).max(0.0);
+        capacity_shortfall[ri] = (spec.capacity - effective).nmax(0.0);
         if let Some(aff) = &spec.dc_affinity {
             for dc in region.datacenters() {
                 let want = aff.share(dc.id) * spec.capacity;
                 let have = by_dc[ri][dc.id.index()];
                 let allowed = aff.tolerance * spec.capacity;
-                affinity_violation[ri][dc.id.index()] = ((have - want).abs() - allowed).max(0.0);
+                affinity_violation[ri][dc.id.index()] = ((have - want).abs() - allowed).nmax(0.0);
             }
         }
     }

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregate::AggregationLevel;
 use crate::classes::Granularity;
+use ras_milp::tol;
 
 /// Weights and limits of the RAS MIP (paper Table 1 and Section 4.6).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,7 +104,7 @@ impl Default for SolverParams {
             max_assignment_vars: 2_000_000,
             phase2_reservation_fraction: 0.10,
             phase_time_limit: 15.0,
-            mip_rel_gap: 1e-4,
+            mip_rel_gap: tol::GAP_REL,
             mip_abs_gap: 0.9,
             stall_node_limit: 48,
             assignment_cost: 0.01,

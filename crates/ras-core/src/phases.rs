@@ -23,6 +23,8 @@ use crate::params::SolverParams;
 use crate::reservation::{ReservationKind, ReservationSpec};
 use crate::session::SolveSession;
 use crate::stats::PhaseStats;
+use ras_milp::cast;
+use ras_milp::tol;
 
 /// Result of the two-phase solve.
 #[derive(Debug, Clone)]
@@ -75,7 +77,7 @@ pub(crate) fn refine_with_phase2(
         ras_milp::cast::ceil_usize(visible as f64 * params.phase2_reservation_fraction).max(1);
     let mut selected: Vec<usize> = overages
         .iter()
-        .filter(|(_, o)| *o > 1e-9)
+        .filter(|(_, o)| *o > tol::EPS)
         .map(|(ri, _)| *ri)
         .take(budget)
         .collect();
@@ -375,7 +377,7 @@ pub(crate) fn best_incumbent(
 ) -> Vec<f64> {
     let score = |v: &[f64]| -> Option<f64> {
         ras.model
-            .violations(v, 1e-6)
+            .violations(v, tol::PRIMAL_FEAS)
             .is_empty()
             .then(|| ras.model.objective().eval(v))
     };
@@ -415,7 +417,7 @@ pub fn rack_overages(
     }
     let mut overage = vec![0.0; specs.len()];
     for ((_, r), rru) in per_rack {
-        let ri = r as usize;
+        let ri = cast::idx(r);
         let spec = &specs[ri];
         if !solver_visible(spec) || spec.capacity <= 0.0 {
             continue;
@@ -434,7 +436,7 @@ pub fn rack_overages(
 /// Servers phase 2 may touch: those targeted at a selected reservation
 /// plus the free pool.
 fn phase2_universe(targets1: &[Option<ReservationId>], selected: &[usize]) -> HashSet<ServerId> {
-    let sel: HashSet<u32> = selected.iter().map(|ri| *ri as u32).collect();
+    let sel: HashSet<u32> = selected.iter().map(|ri| cast::idx32(*ri)).collect();
     targets1
         .iter()
         .enumerate()

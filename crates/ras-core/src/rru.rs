@@ -6,6 +6,7 @@
 //! of eligible hardware whose RRU values sum to the request. A value of
 //! zero marks a hardware type ineligible for the workload.
 
+use ras_milp::nan;
 use ras_topology::{HardwareCatalog, HardwareTypeId, ProcessorGeneration};
 use serde::{Deserialize, Serialize};
 
@@ -88,7 +89,7 @@ impl RruTable {
 
     /// The highest RRU value across eligible types.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().cloned().fold(0.0, f64::max)
+        self.values.iter().cloned().fold(0.0, nan::fmax)
     }
 }
 

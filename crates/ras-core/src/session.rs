@@ -60,6 +60,7 @@ use crate::params::SolverParams;
 use crate::phases::{make_stats, refine_with_phase2, run_phase, solve_prepared, TwoPhaseOutcome};
 use crate::reservation::ReservationSpec;
 use crate::shard::{evaluate_targets, sharded_tolerance};
+use ras_milp::tol;
 
 /// What warm-start machinery did in one session round (the observability
 /// half of the continuous pipeline — `fig_continuous` prints these).
@@ -397,7 +398,7 @@ impl SolveSession {
             }
             let seed = ras.incumbent_from_counts(&counts);
             report.seed_supplied = true;
-            report.seed_repaired = !ras.model.violations(&seed, 1e-6).is_empty();
+            report.seed_repaired = !ras.model.violations(&seed, tol::PRIMAL_FEAS).is_empty();
             warm.incumbent = Some(seed);
         }
 
@@ -476,7 +477,7 @@ impl SolveSession {
                     report.ratchet_gap = ours.objective - exact.objective;
                     report.ratchet_ok = report.ratchet_gap.abs()
                         <= sharded_tolerance(2, params, exact.objective)
-                        && ours.capacity_feasible(params.mip_abs_gap + 1e-6);
+                        && ours.capacity_feasible(params.mip_abs_gap + tol::PRIMAL_FEAS);
                 }
                 Err(_) => report.ratchet_ok = false,
             }

@@ -45,6 +45,9 @@ use crate::phases::TwoPhaseOutcome;
 use crate::reservation::ReservationSpec;
 use crate::session::{SolveSession, WarmReport};
 use crate::stats::PhaseStats;
+use ras_milp::nan;
+use ras_milp::nan::NanGuard;
+use ras_milp::tol;
 
 /// One shard: a set of whole MSB subtrees solved as an independent
 /// subproblem.
@@ -73,6 +76,7 @@ impl ShardPlan {
     /// with datacenters as far as the arithmetic allows. Every server
     /// lands in exactly one shard. `k` is clamped to the MSB count (a
     /// shard must own at least one whole MSB).
+    // lint:allow(hot-path-index): per-shard vectors are allocated to k immediately above
     pub fn build(region: &Region, k: usize) -> Self {
         let k = k.clamp(1, region.msbs().len().max(1));
         let mut msb_sizes = vec![0usize; region.msbs().len()];
@@ -137,6 +141,7 @@ impl ShardPlan {
 /// single-MSB supply — the most the shard can contribute to a capacity
 /// constraint that must survive the loss of its own worst MSB. A
 /// single-MSB shard has bufferable supply 0 by construction.
+// lint:allow(hot-path-index): k x n_res matrices allocated at entry; msb_of maps into them
 fn shard_supplies(
     region: &Region,
     specs: &[ReservationSpec],
@@ -180,6 +185,7 @@ fn shard_supplies(
 /// capacity 0 instead of an unsatisfiable slice. Shares of one spec sum
 /// to exactly its regional capacity: the last weighted shard absorbs the
 /// floating-point residue.
+// lint:allow(hot-path-index): weights/out are k-sized, built in this function
 pub fn shard_specs(
     region: &Region,
     specs: &[ReservationSpec],
@@ -189,7 +195,10 @@ pub fn shard_specs(
     let (raw, bufferable) = shard_supplies(region, specs, plan);
     let mut out: Vec<Vec<ReservationSpec>> = (0..k).map(|_| specs.to_vec()).collect();
     for (ri, spec) in specs.iter().enumerate() {
-        if !solver_visible(spec) || spec.capacity <= 0.0 {
+        // Non-finite capacity is left unsplit: `∞·w/total` and the
+        // `∞ − ∞` remainder would poison the slices with NaN. Each
+        // shard keeps the full spec and its model audit rejects it.
+        if !solver_visible(spec) || spec.capacity <= 0.0 || !spec.capacity.is_finite() {
             continue;
         }
         let weights: Vec<f64> =
@@ -206,7 +215,7 @@ pub fn shard_specs(
         let mut assigned = 0.0;
         for si in 0..k {
             let cap = if Some(si) == last_weighted {
-                (spec.capacity - assigned).max(0.0)
+                (spec.capacity - assigned).nmax(0.0)
             } else {
                 spec.capacity * weights[si] / total
             };
@@ -227,6 +236,7 @@ pub fn shard_specs(
 /// partitions that are infeasible *by construction* (too many shards for
 /// the fleet's buffering head-room), which is what drives the automatic
 /// shard-count reduction in [`ShardedSession`].
+// lint:allow(hot-path-index): per-MSB accumulators sized to the region MSB count
 fn plan_supports(
     specs: &[ReservationSpec],
     plan: &ShardPlan,
@@ -239,7 +249,7 @@ fn plan_supports(
         let mut available = f64::INFINITY;
         for (ri, spec) in specs.iter().enumerate() {
             let cap = split[shard.index][ri].capacity;
-            if !solver_visible(spec) || cap <= 1e-9 {
+            if !solver_visible(spec) || cap <= tol::EPS {
                 continue;
             }
             if spec.survives_msb_loss() {
@@ -252,7 +262,7 @@ fn plan_supports(
             }
             available = available.min(raw[shard.index][ri]);
         }
-        if required > 0.0 && required > available + 1e-6 {
+        if required > 0.0 && required > available + tol::PRIMAL_FEAS {
             return false;
         }
     }
@@ -292,6 +302,7 @@ impl PlanScore {
 /// This is the common yardstick for sharded-vs-monolithic comparisons:
 /// both plans are valued by this one function, so differences measure
 /// plan quality and nothing else.
+// lint:allow(hot-path-index): per-reservation/per-MSB arrays sized together at entry
 pub fn evaluate_targets(
     region: &Region,
     specs: &[ReservationSpec],
@@ -355,7 +366,7 @@ pub fn evaluate_targets(
         if !solver_visible(spec) {
             continue;
         }
-        let max_msb = by_msb[ri].iter().copied().fold(0.0, f64::max);
+        let max_msb = by_msb[ri].iter().copied().fold(0.0, nan::fmax);
         max_msb_rru[ri] = max_msb;
         let effective = if spec.survives_msb_loss() {
             objective += params.buffer_cost * max_msb;
@@ -364,11 +375,11 @@ pub fn evaluate_targets(
             total[ri]
         };
         if spec.capacity > 0.0 {
-            capacity_shortfall[ri] = (spec.capacity - effective).max(0.0);
+            capacity_shortfall[ri] = (spec.capacity - effective).nmax(0.0);
             if let Some(alpha_f) = spec.spread.msb_share {
                 let limit = alpha_f * spec.capacity;
                 for usage in &by_msb[ri] {
-                    objective += params.spread_penalty * (usage - limit).max(0.0);
+                    objective += params.spread_penalty * (usage - limit).nmax(0.0);
                 }
             }
         }
@@ -412,6 +423,7 @@ pub struct ReconcileReport {
 /// A release is committed only while the regional (buffered) capacity
 /// constraint keeps holding, preferring candidates inside the current
 /// maximum-usage MSB so the buffer shrinks alongside the total.
+// lint:allow(hot-path-index): per-MSB candidate stacks sized to n_msb at entry
 fn reconcile(
     region: &Region,
     specs: &[ReservationSpec],
@@ -455,7 +467,7 @@ fn reconcile(
         let buffered = spec.survives_msb_loss();
         let feasible = |total: f64, max_msb: f64| {
             let effective = if buffered { total - max_msb } else { total };
-            effective >= spec.capacity - 1e-9
+            effective >= spec.capacity - tol::EPS
         };
         loop {
             // MSBs by usage, heaviest first: releasing from the max MSB
@@ -470,7 +482,7 @@ fn reconcile(
                 let new_total = total - v;
                 let old = by_msb[mi];
                 by_msb[mi] = old - v;
-                let new_max = by_msb.iter().copied().fold(0.0, f64::max);
+                let new_max = by_msb.iter().copied().fold(0.0, nan::fmax);
                 if feasible(new_total, new_max) {
                     candidates[mi].pop();
                     total = new_total;
@@ -636,6 +648,7 @@ impl ShardedSession {
     /// Runs one sharded continuous round. See the type docs for the
     /// lifecycle and [`SolveSession::solve_round_scoped`] for the
     /// failure-recovery contract.
+    // lint:allow(hot-path-index): shard results vector sized to plan.shards.len()
     pub fn solve_round(
         &mut self,
         region: &Region,
@@ -868,7 +881,7 @@ fn aggregate_phase1(shards: &[ShardReport], objective: f64, wall_seconds: f64) -
         shards
             .iter()
             .map(|s| f(&s.phase1) + s.phase2.as_ref().map_or(0.0, f))
-            .fold(0.0, f64::max)
+            .fold(0.0, nan::fmax)
     };
     let mut mip_stats = ras_milp::SolveStats::default();
     for s in shards {

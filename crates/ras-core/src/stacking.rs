@@ -24,6 +24,8 @@ use ras_topology::{Region, ServerId};
 use serde::{Deserialize, Serialize};
 
 use crate::reservation::ReservationSpec;
+use ras_milp::nan::NanGuard;
+use ras_milp::tol;
 
 /// One fractional grant: `share` of `server`'s RRU value for the tenant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,7 +98,7 @@ pub fn plan(
         .enumerate()
         .map(|(ri, spec)| {
             if spec.kind == crate::reservation::ReservationKind::Guaranteed {
-                (allocated[ri] - spec.capacity).max(0.0)
+                (allocated[ri] - spec.capacity).nmax(0.0)
             } else {
                 0.0
             }
@@ -111,7 +113,7 @@ pub fn plan(
         };
         let mut need = want;
         for server in region.servers() {
-            if need <= 1e-9 {
+            if need <= tol::EPS {
                 break;
             }
             let Some(host) = targets[server.id.index()] else {
@@ -124,7 +126,7 @@ pub fn plan(
             if hi == ti
                 || host_spec.kind != crate::reservation::ReservationKind::Guaranteed
                 || host_spec.host_profile != tenant_spec.host_profile
-                || headroom[hi] <= 1e-9
+                || headroom[hi] <= tol::EPS
             {
                 continue;
             }
@@ -132,7 +134,7 @@ pub fn plan(
             if tenant_value <= 0.0 {
                 continue;
             }
-            let host_value = host_spec.rru.value(server.hardware).max(1e-9);
+            let host_value = host_spec.rru.value(server.hardware).max(tol::EPS);
             let free = server_free.entry(server.id).or_insert(1.0);
             if *free < min_share {
                 continue;
@@ -142,7 +144,7 @@ pub fn plan(
             let frac = free
                 .min(headroom[hi] / host_value)
                 .min(need / tenant_value)
-                .max(0.0);
+                .nmax(0.0);
             if frac < min_share {
                 continue;
             }

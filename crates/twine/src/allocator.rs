@@ -278,7 +278,7 @@ impl TwineAllocator {
         let want = job.replicas;
         let (placed, unplaced) = self.submit_partial(region, broker, job);
         if unplaced > 0 {
-            debug_assert_eq!(placed.len() as u32 + unplaced, want);
+            debug_assert_eq!(cast::idx32(placed.len()) + unplaced, want);
             return Err(PlacementError::NoCapacity {
                 reservation,
                 unplaced,
@@ -332,7 +332,7 @@ impl TwineAllocator {
                 None => break,
             }
         }
-        let unplaced = replicas - placed.len() as u32;
+        let unplaced = replicas - cast::idx32(placed.len());
         (placed, unplaced)
     }
 
@@ -403,7 +403,7 @@ impl TwineAllocator {
         let id = ContainerId(self.next_container);
         self.next_container += 1;
         self.containers.insert(id, Placement { job, server, spec });
-        let count = self.containers_on(server) as u32;
+        let count = cast::idx32(self.containers_on(server));
         broker.set_running_containers(server, count).ok()?;
         Some(id)
     }
@@ -415,7 +415,7 @@ impl TwineAllocator {
                 *c += p.spec.cores;
                 *m += p.spec.memory_gib;
             }
-            let count = self.containers_on(p.server) as u32;
+            let count = cast::idx32(self.containers_on(p.server));
             let _ = broker.set_running_containers(p.server, count);
         }
     }
@@ -499,7 +499,7 @@ impl TwineAllocator {
         }
         // Re-sync the drained server's broker counter: every victim left,
         // and with the exclusion none can have landed back on it.
-        let _ = broker.set_running_containers(server, self.containers_on(server) as u32);
+        let _ = broker.set_running_containers(server, cast::idx32(self.containers_on(server)));
         (moved, lost)
     }
 }

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::allocator::{PlacementError, PlacementPolicyKind, TwineAllocator};
 
 use crate::job::{ContainerId, JobId, JobSpec};
+use ras_milp::cast;
 
 /// Lifecycle state of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,7 +69,7 @@ impl LatencyStats {
         }
         let mut sorted = self.samples_us.clone();
         sorted.sort_unstable();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+        let rank = cast::rounded_usize(((p / 100.0) * sorted.len() as f64).ceil().max(1.0)) - 1;
         Some(sorted[rank.min(sorted.len() - 1)])
     }
 }
@@ -129,13 +130,13 @@ impl TwineScheduler {
             .get_mut(&job)
             .ok_or(PlacementError::UnknownJob(job))?;
         entry.spec.replicas = replicas;
-        while entry.containers.len() as u32 > replicas {
+        while cast::idx32(entry.containers.len()) > replicas {
             let Some(c) = entry.containers.pop() else {
                 break;
             };
             self.allocator.stop(broker, c);
         }
-        if (entry.containers.len() as u32) < replicas {
+        if (cast::idx32(entry.containers.len())) < replicas {
             entry.state = JobState::Pending;
         }
         self.try_place(region, broker, job);
@@ -176,7 +177,7 @@ impl TwineScheduler {
         let missing = entry
             .spec
             .replicas
-            .saturating_sub(entry.containers.len() as u32);
+            .saturating_sub(cast::idx32(entry.containers.len()));
         if missing == 0 {
             entry.state = JobState::Running;
             return;
@@ -188,6 +189,7 @@ impl TwineScheduler {
         // and scale-ups share one identity: anti-affinity sees replicas
         // placed by earlier calls and bookkeeping stays deduplicated.
         let (placed, unplaced) = self.allocator.submit_partial_as(region, broker, job, one);
+        // lint:allow(as-cast-audit): u128 micros overflow u64 only after ~584k years
         self.latency.push(start.elapsed().as_micros() as u64);
         entry.containers.extend(placed);
         entry.state = if unplaced == 0 {

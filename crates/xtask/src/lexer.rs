@@ -12,10 +12,22 @@
 /// Replaces comment and string/char-literal contents with spaces.
 ///
 /// Handles line comments, nested block comments, plain and raw (and
-/// byte/raw-byte) string literals, escapes inside strings, and the
-/// char-literal-versus-lifetime ambiguity (`'a'` is a literal, `'a` in
-/// `<'a>` is not). Newlines are preserved verbatim.
+/// byte/raw-byte/C-string) string literals, escapes inside strings, and
+/// the char-literal-versus-lifetime ambiguity (`'a'` is a literal, `'a`
+/// in `<'a>` is not). Newlines are preserved verbatim.
 pub fn mask_source(src: &str) -> String {
+    mask(src, true)
+}
+
+/// Like [`mask_source`] but *keeps* comment text, blanking only string
+/// and char literal contents. Used when scanning for `lint:allow`
+/// comments: the directive must survive, but the same text inside a
+/// string literal (say, a lint-engine test fixture) must not register.
+pub fn mask_literals(src: &str) -> String {
+    mask(src, false)
+}
+
+fn mask(src: &str, comments_too: bool) -> String {
     let chars: Vec<char> = src.chars().collect();
     let mut out = chars.clone();
     let blank = |out: &mut [char], i: usize| {
@@ -27,8 +39,12 @@ pub fn mask_source(src: &str) -> String {
     while i < chars.len() {
         let c = chars[i];
         if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Consume even when keeping comments, so a quote inside a
+            // comment can never open a string literal.
             while i < chars.len() && chars[i] != '\n' {
-                out[i] = ' ';
+                if comments_too {
+                    out[i] = ' ';
+                }
                 i += 1;
             }
         } else if c == '/' && chars.get(i + 1) == Some(&'*') {
@@ -37,25 +53,32 @@ pub fn mask_source(src: &str) -> String {
             while i < chars.len() {
                 if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
                     depth += 1;
-                    blank(&mut out, i);
-                    blank(&mut out, i + 1);
+                    if comments_too {
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                    }
                     i += 2;
                 } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
                     depth -= 1;
-                    blank(&mut out, i);
-                    blank(&mut out, i + 1);
+                    if comments_too {
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                    }
                     i += 2;
                     if depth == 0 {
                         break;
                     }
                 } else {
-                    blank(&mut out, i);
+                    if comments_too {
+                        blank(&mut out, i);
+                    }
                     i += 1;
                 }
             }
         } else if c == 'r' && is_raw_string_head(&chars, i) {
-            // r"..."  r#"..."#  (possibly after a `b` prefix, which is
-            // just the previous identifier char and needs no handling).
+            // r"..."  r#"..."#  (possibly after a `b` or `c` prefix,
+            // which is just the previous identifier char and needs no
+            // handling of its own).
             i += 1;
             let mut hashes = 0usize;
             while chars.get(i) == Some(&'#') {
@@ -120,7 +143,9 @@ pub fn mask_source(src: &str) -> String {
 
 /// True when the `r` at `chars[i]` starts a raw-string literal rather
 /// than an identifier: followed by `#`s then `"`, and not itself the
-/// tail of an identifier (a preceding `b` byte-string prefix is fine).
+/// tail of an identifier. A preceding `b` (byte string) or `c`
+/// (C string, Rust 1.77) one-letter prefix is fine — anything longer is
+/// an ordinary identifier ending in `r`.
 fn is_raw_string_head(chars: &[char], i: usize) -> bool {
     let mut j = i + 1;
     while chars.get(j) == Some(&'#') {
@@ -132,7 +157,7 @@ fn is_raw_string_head(chars: &[char], i: usize) -> bool {
     match i.checked_sub(1).and_then(|p| chars.get(p)) {
         None => true,
         Some(&prev) if !is_ident_char(prev) => true,
-        Some(&'b') => i < 2 || !is_ident_char(chars[i - 2]),
+        Some(&'b') | Some(&'c') => i < 2 || !is_ident_char(chars[i - 2]),
         Some(_) => false,
     }
 }
@@ -150,13 +175,11 @@ fn is_ident_char(c: char) -> bool {
 /// freely). Attributes between the cfg and the `mod` keyword are
 /// skipped; `#[cfg(test)]` on non-mod items is left untouched.
 pub fn mask_test_mods(masked: &str) -> String {
-    const CFG: &str = "#[cfg(test)]";
     let chars: Vec<char> = masked.chars().collect();
     let mut out = chars.clone();
     let mut search_from = 0usize;
-    while let Some(rel) = find_chars(&chars, CFG, search_from) {
-        let start = rel;
-        let mut i = start + CFG.len();
+    while let Some((start, after_attr)) = find_cfg_test(&chars, search_from) {
+        let mut i = after_attr;
         // Skip whitespace and any further attributes.
         loop {
             while chars.get(i).is_some_and(|c| c.is_whitespace()) {
@@ -182,7 +205,7 @@ pub fn mask_test_mods(masked: &str) -> String {
             }
         }
         if lookahead_word(&chars, i) != Some("mod") {
-            search_from = start + CFG.len();
+            search_from = after_attr;
             continue;
         }
         // Find the block body (an out-of-line `mod x;` has none).
@@ -191,7 +214,7 @@ pub fn mask_test_mods(masked: &str) -> String {
             j += 1;
         }
         if chars.get(j) != Some(&'{') {
-            search_from = start + CFG.len();
+            search_from = after_attr;
             continue;
         }
         let end = skip_delimited(&chars, j, '{', '}');
@@ -235,12 +258,29 @@ fn lookahead_word(chars: &[char], i: usize) -> Option<&'static str> {
     None
 }
 
-fn find_chars(chars: &[char], needle: &str, from: usize) -> Option<usize> {
-    let n: Vec<char> = needle.chars().collect();
-    if chars.len() < n.len() {
-        return None;
+/// Finds the next `#[cfg(test)]` attribute at or after `from`,
+/// tolerating whitespace anywhere inside the brackets (`#[ cfg( test ) ]`
+/// is what a hand-edited file may contain; rustfmt would normalise it,
+/// but the masker must not depend on that). Returns the index of the
+/// `#` and the index just past the closing `]`.
+fn find_cfg_test(chars: &[char], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < chars.len() {
+        if chars[i] == '#' && chars.get(i + 1) == Some(&'[') {
+            let end = skip_delimited(chars, i + 1, '[', ']');
+            let body: String = chars[i + 2..end.saturating_sub(1)]
+                .iter()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if body == "cfg(test)" {
+                return Some((i, end));
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
     }
-    (from..=chars.len() - n.len()).find(|&i| chars[i..i + n.len()] == n[..])
+    None
 }
 
 #[cfg(test)]
@@ -289,5 +329,92 @@ mod tests {
         let src = "#[cfg(test)]\nfn helper() { a.unwrap(); }\n";
         let m = mask_test_mods(&mask_source(src));
         assert!(m.contains("a.unwrap()"));
+    }
+
+    // ---- hardening battery ----
+    // Each case below pins a way the masker used to go wrong (or could
+    // plausibly go wrong after a refactor). The first two failed before
+    // the fixes that landed with them.
+
+    #[test]
+    fn c_string_raw_literal_is_masked() {
+        // `cr#"…"#` (Rust 1.77 C strings) previously fell through to the
+        // plain-string scanner, which stopped at the first inner quote
+        // and let the tail leak into the "code" view.
+        let src = "let p = cr#\"leak.unwrap() \"q\" tail\"#; real.unwrap();";
+        let m = mask_source(src);
+        assert!(!m.contains("leak"));
+        assert!(!m.contains("tail"));
+        assert!(m.contains("real.unwrap()"));
+        // Plain C strings go through the ordinary string scanner.
+        let m2 = mask_source("let p = c\"leak.unwrap()\"; real.unwrap();");
+        assert!(!m2.contains("leak"));
+        assert!(m2.contains("real.unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_with_inner_whitespace_is_recognised() {
+        // `#[cfg( test )]` previously missed the exact-substring match
+        // and the whole test mod leaked into the lint scan.
+        let src = "#[cfg( test )]\nmod tests {\n  fn t() { y.unwrap(); }\n}\n";
+        let m = mask_test_mods(&mask_source(src));
+        assert!(!m.contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn char_literal_holding_a_quote_does_not_open_a_string() {
+        // If the `"` inside '"' survived, everything after it would be
+        // treated as a string and blanked.
+        let src = "let q = '\"'; live.unwrap(); let e = '\\\"'; more.unwrap();";
+        let m = mask_source(src);
+        assert!(m.contains("live.unwrap()"));
+        assert!(m.contains("more.unwrap()"));
+    }
+
+    #[test]
+    fn lifetime_ticks_are_not_char_literals() {
+        let src = "fn f<'a, 'de>(x: &'a str, y: &'static str, z: &'_ u8) { 'outer: loop { break 'outer; } }";
+        let m = mask_source(src);
+        assert_eq!(m, src); // nothing to blank — and nothing mangled
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "/* 1 /* 2 /* 3 */ 2 */ 1 */ code.unwrap()";
+        let m = mask_source(src);
+        assert!(m.contains("code.unwrap()"));
+        assert!(!m.contains('1'));
+    }
+
+    #[test]
+    fn quote_inside_comment_does_not_open_a_string() {
+        let src = "// a \" stray quote\nlive.unwrap();\n/* another \" one */ more.unwrap();";
+        let m = mask_source(src);
+        assert!(m.contains("live.unwrap()"));
+        assert!(m.contains("more.unwrap()"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let src = "let r#match = 1; r#match.unwrap();";
+        let m = mask_source(src);
+        assert!(m.contains("r#match.unwrap()"));
+    }
+
+    #[test]
+    fn mask_literals_keeps_comments_but_blanks_strings() {
+        let src = "// lint:allow(x): reason\nlet s = \"lint:allow(y)\";";
+        let m = mask_literals(src);
+        assert!(m.contains("lint:allow(x): reason"));
+        assert!(!m.contains("lint:allow(y)"));
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic_or_leak() {
+        for src in ["let s = \"open", "let r = r#\"open", "let c = '"] {
+            let m = mask_source(src);
+            assert!(!m.contains("open"));
+        }
     }
 }

@@ -1,70 +1,92 @@
 //! `cargo xtask` — repo automation.
 //!
 //! The only subcommand today is `lint`: a custom static-analysis pass
-//! over `crates/*/src` enforcing solver-specific rules that clippy has
-//! no knowledge of (NaN-unsound comparator unwraps, panicking fallible
-//! paths inside the solver stack, unchecked float→int casts). Findings
-//! are counted per lint and compared against the committed ratchet file
-//! `lint-ratchet.toml`: any count *growing* fails the run (and CI);
-//! counts going down print a reminder to re-bless.
+//! over the workspace's authored sources enforcing solver-specific
+//! rules that clippy has no knowledge of — panicking fallible paths and
+//! bare hot-loop indexing in the solver stack, NaN-unsound comparisons
+//! and min/max, inline tolerance literals that can drift apart,
+//! unchecked narrowing casts, and side effects inside `debug_assert!`.
+//! Findings are counted per lint and compared against the committed
+//! ratchet file `lint-ratchet.toml`: any count *growing* fails the run
+//! (and CI); counts going down print a reminder to re-bless.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo xtask lint            # enforce the ratchet (CI gate)
-//! cargo xtask lint --list     # also print every current finding
-//! cargo xtask lint --bless    # rewrite lint-ratchet.toml with current counts
+//! cargo xtask lint                 # enforce the ratchet (CI gate)
+//! cargo xtask lint --list          # also print every current finding
+//! cargo xtask lint --bless         # rewrite lint-ratchet.toml with current counts
+//! cargo xtask lint --format json   # machine-readable report on stdout (CI artifact)
 //! ```
-
-mod lexer;
-mod lints;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lints::{Finding, LINT_NAMES};
+use xtask::lints::{self, LINT_NAMES};
+use xtask::report::{self, Finding};
+use xtask::walk;
 
 const RATCHET_FILE: &str = "lint-ratchet.toml";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let bless = args.iter().any(|a| a == "--bless");
-            let list = args.iter().any(|a| a == "--list");
-            if let Some(bad) = args[1..].iter().find(|a| *a != "--bless" && *a != "--list") {
-                eprintln!("xtask lint: unknown flag `{bad}`");
-                return usage();
+            let mut bless = false;
+            let mut list = false;
+            let mut format = Format::Text;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--bless" => bless = true,
+                    "--list" => list = true,
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("json") => format = Format::Json,
+                        Some("text") => format = Format::Text,
+                        other => {
+                            eprintln!(
+                                "xtask lint: --format expects `json` or `text`, got {other:?}"
+                            );
+                            return usage();
+                        }
+                    },
+                    bad => {
+                        eprintln!("xtask lint: unknown flag `{bad}`");
+                        return usage();
+                    }
+                }
             }
-            run_lint(bless, list)
+            run_lint(bless, list, format)
         }
         _ => usage(),
     }
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--bless] [--list]");
+    eprintln!("usage: cargo xtask lint [--bless] [--list] [--format <text|json>]");
     ExitCode::FAILURE
 }
 
-fn run_lint(bless: bool, list: bool) -> ExitCode {
+fn run_lint(bless: bool, list: bool, format: Format) -> ExitCode {
     let root = repo_root();
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
-        eprintln!("xtask lint: cannot read {}", crates_dir.display());
+    let files = walk::workspace_files(&root);
+    if files.is_empty() {
+        eprintln!(
+            "xtask lint: no workspace sources found under {}",
+            root.display()
+        );
         return ExitCode::FAILURE;
-    };
-    for entry in entries.flatten() {
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            collect_rs_files(&src, &mut files);
-        }
     }
-    files.sort();
 
     let mut findings: Vec<Finding> = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
     for file in &files {
         let Ok(raw) = std::fs::read_to_string(file) else {
             eprintln!("xtask lint: cannot read {}", file.display());
@@ -76,7 +98,9 @@ fn run_lint(bless: bool, list: bool) -> ExitCode {
             .display()
             .to_string()
             .replace('\\', "/");
-        findings.extend(lints::scan_file(&rel, &raw));
+        let (fs, ws) = lints::scan_file(&rel, &raw);
+        findings.extend(fs);
+        warnings.extend(ws);
     }
 
     let mut counts: BTreeMap<&'static str, usize> =
@@ -85,9 +109,13 @@ fn run_lint(bless: bool, list: bool) -> ExitCode {
         *counts.entry(f.lint).or_insert(0) += 1;
     }
 
-    if list {
+    for w in &warnings {
+        eprintln!("xtask lint: warning: {w}");
+    }
+
+    if list && format == Format::Text {
         for f in &findings {
-            println!("{}:{}: [{}] {}", f.file, f.line, f.lint, f.excerpt);
+            print!("{}", report::render_text(f));
         }
         if !findings.is_empty() {
             println!();
@@ -119,7 +147,10 @@ fn run_lint(bless: bool, list: bool) -> ExitCode {
 
     let mut failed = false;
     let mut improved = false;
-    println!("xtask lint: {} files scanned", files.len());
+    let human = format == Format::Text;
+    if human {
+        println!("xtask lint: {} files scanned", files.len());
+    }
     for (&name, &now) in &counts {
         let Some(&base) = baseline.get(name) else {
             eprintln!(
@@ -132,30 +163,45 @@ fn run_lint(bless: bool, list: bool) -> ExitCode {
             std::cmp::Ordering::Greater => {
                 eprintln!("  {name}: {now} findings (ratchet {base}) — REGRESSION");
                 for f in findings.iter().filter(|f| f.lint == name) {
-                    eprintln!("    {}:{}: {}", f.file, f.line, f.excerpt);
+                    eprint!("    {}", report::render_text(f));
                 }
                 failed = true;
             }
             std::cmp::Ordering::Less => {
-                println!("  {name}: {now} findings (ratchet {base}) — improved");
+                if human {
+                    println!("  {name}: {now} findings (ratchet {base}) — improved");
+                }
                 improved = true;
             }
             std::cmp::Ordering::Equal => {
-                println!("  {name}: {now} findings (at ratchet)");
+                if human {
+                    println!("  {name}: {now} findings (at ratchet)");
+                }
             }
         }
     }
+
+    if format == Format::Json {
+        print!(
+            "{}",
+            report::render_json(files.len(), &findings, &counts, &baseline, !failed)
+        );
+    }
+
     if failed {
         eprintln!(
             "xtask lint: FAILED — fix the new findings or, for a reviewed-and-sound site, \
-             suppress it with `// lint:allow(<lint>)`"
+             suppress it with `// lint:allow(<lint>)` (syntax lints additionally require \
+             `// lint:allow(<lint>): <justification>`)"
         );
         return ExitCode::FAILURE;
     }
-    if improved {
+    if improved && human {
         println!("xtask lint: counts went down — run `cargo xtask lint --bless` and commit {RATCHET_FILE}");
     }
-    println!("xtask lint: ok");
+    if human {
+        println!("xtask lint: ok");
+    }
     ExitCode::SUCCESS
 }
 
@@ -166,20 +212,6 @@ fn repo_root() -> PathBuf {
         .nth(2)
         .map(Path::to_path_buf)
         .unwrap_or_else(|| PathBuf::from("."))
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
 }
 
 /// Parses the `[counts]` section of the ratchet file. The format is a
@@ -216,7 +248,9 @@ fn render_ratchet(counts: &BTreeMap<&'static str, usize>) -> String {
          # Counts may only go down. If your change removes a finding, run\n\
          # `cargo xtask lint --bless` and commit the new counts; if it adds\n\
          # one, fix it — or, for a reviewed-and-sound site, annotate it with\n\
-         # `// lint:allow(<lint-name>)`.\n\n[counts]\n",
+         # `// lint:allow(<lint-name>)`. The syntax-aware lints (hot-path-index,\n\
+         # tolerance-literal, as-cast-audit, nan-min-max, debug-assert-effect)\n\
+         # require a one-line justification: `// lint:allow(<name>): <why>`.\n\n[counts]\n",
     );
     for (name, n) in counts {
         out.push_str(&format!("{name} = {n}\n"));

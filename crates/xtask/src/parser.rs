@@ -1,0 +1,594 @@
+//! A small hand-rolled Rust token-tree parser for the lint engine.
+//!
+//! Works on *masked* source (see [`crate::lexer`]): comments, string
+//! and char literal contents, and `#[cfg(test)]` modules are already
+//! blanked, so what remains is real production code. This module turns
+//! that text into a forest of [`Tree`]s — leaves with spans, plus
+//! delimiter groups — and classifies brace scopes (function bodies,
+//! loop bodies, `const` initializers) so lints can reason about *where*
+//! a pattern occurs, not just that a substring matched somewhere.
+//!
+//! This is deliberately not a full Rust grammar. It understands exactly
+//! as much structure as the lint passes in [`crate::passes`] need:
+//! nesting, statement boundaries, a handful of scope-introducing
+//! keywords, and multi-character operators (so `=` is distinguishable
+//! from `==`, `=>`, `<=`, …). The zero-dependency constraint rules out
+//! `syn`; masking does the heavy lifting that makes this tractable.
+
+/// One lexical token with its position in the (masked) source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text as it appears in the masked source.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in chars).
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal (suffix included in `text`).
+    Num,
+    /// `'a`-style lifetime or loop label.
+    Lifetime,
+    /// Operator / punctuation; multi-char operators are one token.
+    Punct,
+    /// `(`, `[` or `{`.
+    Open,
+    /// `)`, `]` or `}`.
+    Close,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+    /// True for a float literal (decimal point, exponent, or f-suffix).
+    pub fn is_float_lit(&self) -> bool {
+        self.kind == TokKind::Num
+            && (self.text.contains('.')
+                || self.text.ends_with("f32")
+                || self.text.ends_with("f64")
+                || self
+                    .text
+                    .bytes()
+                    .zip(self.text.bytes().skip(1))
+                    .any(|(a, b)| (a == b'e' || a == b'E') && (b.is_ascii_digit() || b == b'-')))
+    }
+    /// True for an epsilon-style float literal with a negative exponent
+    /// (`1e-7`, `2.5E-12`, `1e-7f64`, …).
+    pub fn has_negative_exponent(&self) -> bool {
+        self.kind == TokKind::Num
+            && self
+                .text
+                .bytes()
+                .zip(self.text.bytes().skip(1))
+                .zip(self.text.bytes().skip(2))
+                .any(|((a, b), c)| (a == b'e' || a == b'E') && b == b'-' && c.is_ascii_digit())
+    }
+}
+
+/// A token tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    Leaf(Tok),
+    Group {
+        /// `(`, `[` or `{`.
+        delim: char,
+        open: Tok,
+        /// Line of the matching close delimiter (== open line if the
+        /// group was unterminated at EOF).
+        close_line: usize,
+        /// Column of the matching close delimiter (== open col if the
+        /// group was unterminated at EOF).
+        close_col: usize,
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The token that anchors diagnostics for this tree.
+    pub fn head(&self) -> &Tok {
+        match self {
+            Tree::Leaf(t) => t,
+            Tree::Group { open, .. } => open,
+        }
+    }
+    pub fn as_leaf(&self) -> Option<&Tok> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group { .. } => None,
+        }
+    }
+    pub fn is_group(&self, d: char) -> bool {
+        matches!(self, Tree::Group { delim, .. } if *delim == d)
+    }
+    pub fn group_children(&self) -> Option<&[Tree]> {
+        match self {
+            Tree::Group { children, .. } => Some(children),
+            Tree::Leaf(_) => None,
+        }
+    }
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const MULTI_PUNCT: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "&&", "||", "<<", ">>", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "::", "..", ".",
+];
+
+/// Tokenizes masked source. Blanked literal contents produce no tokens;
+/// the surviving quote delimiters are dropped (a masked `"…"` or `'…'`
+/// carries no information the lints care about).
+pub fn tokenize(masked: &str) -> Vec<Tok> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |n: usize, chars: &[char], i: usize, line: &mut usize, col: &mut usize| {
+            for k in 0..n {
+                if chars.get(i + k) == Some(&'\n') {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+        };
+        if c.is_whitespace() {
+            advance(1, &chars, i, &mut line, &mut col);
+            i += 1;
+        } else if c == '"' {
+            // Masked string literal: skip delimiter quotes and blanks.
+            advance(1, &chars, i, &mut line, &mut col);
+            i += 1;
+        } else if c == '\'' {
+            // Lifetime / label — masked char literals leave `'  '` with
+            // no ident char after the tick, which falls through to the
+            // bare-tick case below and is skipped.
+            let mut j = i + 1;
+            let mut name = String::from("'");
+            while chars.get(j).is_some_and(|&ch| is_ident_char(ch)) {
+                name.push(chars[j]);
+                j += 1;
+            }
+            if name.len() > 1 {
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            advance(j - i, &chars, i, &mut line, &mut col);
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i;
+            let mut text = String::new();
+            while chars
+                .get(j)
+                .is_some_and(|&ch| ch.is_ascii_alphanumeric() || ch == '_')
+            {
+                text.push(chars[j]);
+                j += 1;
+            }
+            // Fractional part — but not the `..` of a range.
+            if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|&ch| ch.is_ascii_digit())
+            {
+                text.push('.');
+                j += 1;
+                while chars
+                    .get(j)
+                    .is_some_and(|&ch| ch.is_ascii_alphanumeric() || ch == '_')
+                {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            // Negative exponent: the `-` after `e` is part of the
+            // literal (`1e-7`); positive exponents lex as `1e7` above.
+            if (text.ends_with('e') || text.ends_with('E'))
+                && chars.get(j) == Some(&'-')
+                && chars.get(j + 1).is_some_and(|&ch| ch.is_ascii_digit())
+            {
+                text.push('-');
+                j += 1;
+                while chars
+                    .get(j)
+                    .is_some_and(|&ch| ch.is_ascii_alphanumeric() || ch == '_')
+                {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            advance(j - i, &chars, i, &mut line, &mut col);
+            i = j;
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line: tline,
+                col: tcol,
+            });
+        } else if is_ident_char(c) {
+            let mut j = i;
+            let mut text = String::new();
+            while chars.get(j).is_some_and(|&ch| is_ident_char(ch)) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            advance(j - i, &chars, i, &mut line, &mut col);
+            i = j;
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+        } else if "([{".contains(c) {
+            toks.push(Tok {
+                kind: TokKind::Open,
+                text: c.to_string(),
+                line: tline,
+                col: tcol,
+            });
+            advance(1, &chars, i, &mut line, &mut col);
+            i += 1;
+        } else if ")]}".contains(c) {
+            toks.push(Tok {
+                kind: TokKind::Close,
+                text: c.to_string(),
+                line: tline,
+                col: tcol,
+            });
+            advance(1, &chars, i, &mut line, &mut col);
+            i += 1;
+        } else {
+            let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+            let op = MULTI_PUNCT
+                .iter()
+                .find(|m| rest.starts_with(**m))
+                .copied()
+                .map(str::to_string)
+                .unwrap_or_else(|| c.to_string());
+            let n = op.chars().count();
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op,
+                line: tline,
+                col: tcol,
+            });
+            advance(n, &chars, i, &mut line, &mut col);
+            i += n;
+        }
+    }
+    toks
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Builds the token forest. Masked Rust is delimiter-balanced in
+/// practice; a stray close delimiter is kept as a leaf and an
+/// unterminated group simply ends at EOF, so malformed input degrades
+/// instead of panicking.
+pub fn build_trees(toks: &[Tok]) -> Vec<Tree> {
+    let mut i = 0usize;
+    build_group(toks, &mut i, None)
+}
+
+fn build_group(toks: &[Tok], i: &mut usize, closing: Option<&str>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i < toks.len() {
+        let t = &toks[*i];
+        match t.kind {
+            TokKind::Open => {
+                let open = t.clone();
+                let delim = open.text.chars().next().unwrap_or('(');
+                let want = match delim {
+                    '(' => ")",
+                    '[' => "]",
+                    _ => "}",
+                };
+                *i += 1;
+                let children = build_group(toks, i, Some(want));
+                let (close_line, close_col) = if *i < toks.len() {
+                    let t = (toks[*i].line, toks[*i].col);
+                    *i += 1; // consume the close token
+                    t
+                } else {
+                    (open.line, open.col)
+                };
+                out.push(Tree::Group {
+                    delim,
+                    open,
+                    close_line,
+                    close_col,
+                    children,
+                });
+            }
+            TokKind::Close => {
+                if Some(t.text.as_str()) == closing {
+                    return out; // caller consumes it
+                }
+                // Stray close (or mismatched) — keep as a leaf.
+                out.push(Tree::Leaf(t.clone()));
+                *i += 1;
+            }
+            _ => {
+                out.push(Tree::Leaf(t.clone()));
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// What a brace/bracket/paren group *is*, as far as lints care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// Body of `fn name(…) { … }`. Carries the function name and the
+    /// 1-based line of the `fn` keyword (scoped `lint:allow` comments
+    /// directly above that line cover the whole body).
+    Fn { name: String, kw_line: usize },
+    /// Body of a `for`/`while`/`loop`. Carries the keyword's line.
+    Loop { kw_line: usize },
+    /// Inside a `const`/`static` item's initializer — named-constant
+    /// definitions are where tolerance literals are *supposed* to live.
+    ConstInit,
+    /// Any other group (blocks, argument lists, types, …).
+    Other,
+}
+
+/// One entered scope during a [`walk`].
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    /// Line range of the group (open line ..= close line).
+    pub lines: (usize, usize),
+}
+
+impl Scope {
+    /// The source line a standalone scoped `lint:allow` must sit on to
+    /// cover this scope: directly above the introducing keyword.
+    pub fn allow_anchor_line(&self) -> usize {
+        match &self.kind {
+            ScopeKind::Fn { kw_line, .. } | ScopeKind::Loop { kw_line } => *kw_line,
+            _ => self.lines.0,
+        }
+    }
+}
+
+/// Walks every sibling list in the forest depth-first. The callback
+/// sees `(siblings, index, scope_stack)` for every tree, so passes can
+/// inspect neighbours (receiver chains, index targets) and enclosing
+/// scopes (loops, functions, const initializers).
+pub fn walk<F: FnMut(&[Tree], usize, &[Scope])>(trees: &[Tree], f: &mut F) {
+    let mut scopes = Vec::new();
+    walk_inner(trees, &mut scopes, f);
+}
+
+fn walk_inner<F: FnMut(&[Tree], usize, &[Scope])>(
+    trees: &[Tree],
+    scopes: &mut Vec<Scope>,
+    f: &mut F,
+) {
+    // Pending classification for the next brace group at this level.
+    // `fn` wins over `for` (a `for<'a>` higher-ranked bound in a where
+    // clause, or `impl Trait for Type`, must not look like a loop).
+    let mut pending: Option<ScopeKind> = None;
+    // Set while inside a `const NAME: T = …;` / `static …;` statement
+    // at this level; materialized as a ConstInit scope so everything up
+    // to the terminating `;` (including nested groups) sees it.
+    let mut in_const_stmt = false;
+    for (idx, tree) in trees.iter().enumerate() {
+        if let Some(t) = tree.as_leaf() {
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "fn" => {
+                        // `const fn` is a function, not a constant.
+                        if in_const_stmt {
+                            in_const_stmt = false;
+                            scopes.pop();
+                        }
+                        let name = trees
+                            .get(idx + 1)
+                            .and_then(Tree::as_leaf)
+                            .filter(|n| n.kind == TokKind::Ident)
+                            .map(|n| n.text.clone())
+                            .unwrap_or_else(|| "<anon>".to_string());
+                        pending = Some(ScopeKind::Fn {
+                            name,
+                            kw_line: t.line,
+                        });
+                    }
+                    "for" | "while" | "loop" if pending.is_none() => {
+                        pending = Some(ScopeKind::Loop { kw_line: t.line });
+                    }
+                    "const" | "static" => {
+                        // `*const T` is a raw-pointer type, not an item
+                        // (`'static` lexes as a lifetime, so it never
+                        // gets here).
+                        let prev_is_ptr = idx
+                            .checked_sub(1)
+                            .and_then(|p| trees.get(p))
+                            .and_then(Tree::as_leaf)
+                            .is_some_and(|p| p.is_punct("*"));
+                        if pending.is_none() && !in_const_stmt && !prev_is_ptr {
+                            in_const_stmt = true;
+                            scopes.push(Scope {
+                                kind: ScopeKind::ConstInit,
+                                lines: (t.line, t.line),
+                            });
+                        }
+                    }
+                    "impl" | "trait" | "mod" | "match" | "struct" | "enum" | "union"
+                        if pending.is_none() =>
+                    {
+                        pending = Some(ScopeKind::Other);
+                    }
+                    _ => {}
+                }
+            } else if t.is_punct(";") {
+                pending = None;
+                if in_const_stmt {
+                    in_const_stmt = false;
+                    scopes.pop();
+                }
+            }
+        }
+        f(trees, idx, scopes);
+        if let Tree::Group {
+            delim,
+            open,
+            close_line,
+            children,
+            ..
+        } = tree
+        {
+            let kind = if *delim == '{' {
+                pending.take().unwrap_or(ScopeKind::Other)
+            } else {
+                ScopeKind::Other
+            };
+            scopes.push(Scope {
+                kind,
+                lines: (open.line, *close_line),
+            });
+            walk_inner(children, scopes, f);
+            scopes.pop();
+        }
+    }
+    if in_const_stmt {
+        scopes.pop();
+    }
+}
+
+/// Convenience: parse masked source straight to a forest.
+pub fn parse(masked: &str) -> Vec<Tree> {
+    build_trees(&tokenize(masked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(trees: &[Tree]) -> Vec<String> {
+        let mut v = Vec::new();
+        walk(trees, &mut |sibs, i, _| {
+            if let Some(t) = sibs[i].as_leaf() {
+                if t.kind == TokKind::Ident {
+                    v.push(t.text.clone());
+                }
+            }
+        });
+        v
+    }
+
+    #[test]
+    fn tokenizer_floats_and_operators() {
+        let toks = tokenize("let x = 1e-7; if a <= b && c == d { y += 2.5f64; }");
+        let lit = toks.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!(lit.text, "1e-7");
+        assert!(lit.has_negative_exponent());
+        assert!(toks.iter().any(|t| t.is_punct("<=")));
+        assert!(toks.iter().any(|t| t.is_punct("&&")));
+        assert!(toks.iter().any(|t| t.is_punct("+=")));
+        assert!(toks.iter().any(|t| t.text == "2.5f64" && t.is_float_lit()));
+        // `=` and `==` are distinct tokens.
+        assert!(toks.iter().any(|t| t.is_punct("=")));
+        assert!(toks.iter().any(|t| t.is_punct("==")));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = tokenize("for i in 0..n { v[i] = 0; } let r = 1..=8;");
+        assert!(toks.iter().all(|t| !t.is_float_lit()));
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_punct("..=")));
+    }
+
+    #[test]
+    fn groups_nest_and_span_lines() {
+        let trees = parse("fn f() {\n  g(a[i]);\n}\n");
+        assert!(matches!(&trees[2], Tree::Group { delim: '(', .. }));
+        let Tree::Group {
+            delim, close_line, ..
+        } = &trees[3]
+        else {
+            panic!("expected body group")
+        };
+        assert_eq!(*delim, '{');
+        assert_eq!(*close_line, 3);
+    }
+
+    #[test]
+    fn fn_and_loop_scopes_classify() {
+        let src = "fn hot(v: &[f64]) { for i in 0..3 { v2(v[i]); } }";
+        let mut seen = Vec::new();
+        walk(&parse(src), &mut |sibs, i, scopes| {
+            if sibs[i].as_leaf().is_some_and(|t| t.is_ident("v2")) {
+                seen = scopes.iter().map(|s| s.kind.clone()).collect();
+            }
+        });
+        assert_eq!(seen.len(), 2);
+        assert!(matches!(&seen[0], ScopeKind::Fn { name, .. } if name == "hot"));
+        assert!(matches!(&seen[1], ScopeKind::Loop { .. }));
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_for_are_not_loops() {
+        let src = "impl Trait for Type { fn m(&self) {} }\n\
+                   fn g<F>(f: F) where F: for<'a> Fn(&'a u8) { body(); }";
+        let mut bad = false;
+        let mut fn_seen = false;
+        walk(&parse(src), &mut |sibs, i, scopes| {
+            if sibs[i].as_leaf().is_some_and(|t| t.is_ident("body")) {
+                bad = scopes
+                    .iter()
+                    .any(|s| matches!(s.kind, ScopeKind::Loop { .. }));
+                fn_seen = scopes
+                    .iter()
+                    .any(|s| matches!(&s.kind, ScopeKind::Fn { name, .. } if name == "g"));
+            }
+        });
+        assert!(!bad, "impl-for / HRTB `for` misread as a loop");
+        assert!(fn_seen);
+    }
+
+    #[test]
+    fn const_initializers_are_const_scope() {
+        let src =
+            "const EPS: f64 = 1e-9;\nstatic T: [f64; 2] = [1e-7, 2e-7];\nfn f() { let x = 1e-7; }";
+        let mut const_hits = 0;
+        let mut loose = 0;
+        walk(&parse(src), &mut |sibs, i, scopes| {
+            if sibs[i].as_leaf().is_some_and(Tok::has_negative_exponent) {
+                if scopes.iter().any(|s| s.kind == ScopeKind::ConstInit) {
+                    const_hits += 1;
+                } else {
+                    loose += 1;
+                }
+            }
+        });
+        assert_eq!(const_hits, 3); // 1e-9 + the two static array entries
+        assert_eq!(loose, 1);
+    }
+
+    #[test]
+    fn stray_close_delims_do_not_panic() {
+        let trees = parse(") } ] fn f() { ok(); }");
+        assert!(idents(&trees).contains(&"ok".to_string()));
+    }
+}

@@ -1,0 +1,140 @@
+//! Workspace file walker for the lint pass.
+//!
+//! Everything we author is in scope: each workspace member's `src/`,
+//! `tests/`, `examples/` and `benches/` trees (which covers
+//! `crates/bench/src/bin`), plus the root package's own `src/`,
+//! `tests/` and `examples/`. Two trees are deliberately excluded:
+//!
+//! * `vendor/` — offline stand-ins for third-party crates; not ours to
+//!   lint (they are path *dependencies*, not authored members);
+//! * `target/` — build output.
+//!
+//! The walked set is pinned against workspace membership (root
+//! `Cargo.toml` `members` globs, the way `cargo metadata` would resolve
+//! them) by `crates/xtask/tests/walker.rs`, so a new crate or test tree
+//! cannot silently escape the lint gate.
+
+use std::path::{Path, PathBuf};
+
+/// Source subdirectories scanned inside every package.
+pub const PACKAGE_SUBDIRS: [&str; 4] = ["src", "tests", "examples", "benches"];
+
+/// Package roots of the workspace: the repo root (it has a `[package]`
+/// section) plus every `crates/*` directory holding a `Cargo.toml`.
+/// Sorted for deterministic reports.
+pub fn package_roots(repo_root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![repo_root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(repo_root.join("crates")) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if dir.is_dir() && dir.join("Cargo.toml").is_file() {
+                roots.push(dir);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+/// The directories actually walked: existing `PACKAGE_SUBDIRS` under
+/// every package root.
+pub fn scan_roots(repo_root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for pkg in package_roots(repo_root) {
+        for sub in PACKAGE_SUBDIRS {
+            let dir = pkg.join(sub);
+            if dir.is_dir() {
+                out.push(dir);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Every `.rs` file in scope, sorted.
+pub fn workspace_files(repo_root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in scan_roots(repo_root) {
+        collect_rs_files(&dir, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `fixtures/` holds lint-engine *test data* — files written
+            // to contain findings on purpose. They are inputs to the
+            // golden tests, not authored workspace code.
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace `members` globs from the root manifest, resolved against
+/// the filesystem the way `cargo metadata` would (only `dir/*` globs
+/// and literal paths are supported — all this workspace uses).
+pub fn manifest_member_dirs(repo_root: &Path) -> Vec<PathBuf> {
+    let manifest = repo_root.join("Cargo.toml");
+    let Ok(text) = std::fs::read_to_string(&manifest) else {
+        return Vec::new();
+    };
+    let mut members = Vec::new();
+    // Find the `members = [ … ]` array inside `[workspace]`.
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_workspace = line == "[workspace]";
+            continue;
+        }
+        if in_workspace && line.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    let mut dirs = Vec::new();
+    for m in members {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            if let Ok(entries) = std::fs::read_dir(repo_root.join(prefix)) {
+                for entry in entries.flatten() {
+                    let dir = entry.path();
+                    if dir.is_dir() && dir.join("Cargo.toml").is_file() {
+                        dirs.push(dir);
+                    }
+                }
+            }
+        } else {
+            let dir = repo_root.join(&m);
+            if dir.join("Cargo.toml").is_file() {
+                dirs.push(dir);
+            }
+        }
+    }
+    // The root package itself is a member iff the root manifest has a
+    // [package] section (it does in this workspace).
+    if text.lines().any(|l| l.trim() == "[package]") {
+        dirs.push(repo_root.to_path_buf());
+    }
+    dirs.sort();
+    dirs
+}

@@ -1,0 +1,24 @@
+//@ path: crates/ras-core/src/assign.rs
+// Fixture: narrowing / sign-changing `as` casts in solver code.
+
+fn flagged(n: usize, x: f64) -> u32 {
+    let a = n as u32; //~ as-cast-audit
+    let b = x as i64; //~ as-cast-audit
+    let c = n as f32; //~ as-cast-audit
+    a + b as u32 + c as u32 //~ as-cast-audit //~ as-cast-audit
+}
+
+fn literals_and_widening_are_fine(k: u32) -> f64 {
+    let _mask = 0xff as u8; // literal source: width is part of the text
+    let w = k as f64; // f64 can hold every u32 exactly
+    w + 1.0
+}
+
+fn rounding_casts_belong_to_float_as_int(x: f64) -> usize {
+    x.round() as usize //~ float-as-int
+}
+
+// lint:allow(as-cast-audit): fixture — bounded by protocol to u16 range
+fn allowed(n: usize) -> u16 {
+    n as u16
+}

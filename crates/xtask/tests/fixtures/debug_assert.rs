@@ -1,0 +1,25 @@
+//@ path: crates/sim/src/driver.rs
+// Fixture: side effects inside debug_assert! (stripped in release, so
+// the asserted effect silently vanishes).
+
+fn flagged(v: &mut Vec<u32>, it: &mut std::vec::IntoIter<u32>) {
+    debug_assert!(v.pop().is_some()); //~ debug-assert-effect
+    debug_assert_eq!(v.swap_remove(0), 3); //~ debug-assert-effect
+    debug_assert!(it.next().is_none()); //~ debug-assert-effect
+    let mut x = 0;
+    debug_assert!({ x = 1; x > 0 }); //~ debug-assert-effect
+    let _ = x;
+}
+
+fn reads_are_fine(v: &[u32], flag: bool) {
+    debug_assert!(v.len() > 0);
+    debug_assert_eq!(v.iter().next(), v.first()); // fresh iterator, no state
+    debug_assert!(flag == true);
+    let y = 1;
+    debug_assert!(y <= 1); // comparison operators are not assignments
+}
+
+// lint:allow(debug-assert-effect): fixture — effect is intentional and test-only
+fn allowed(v: &mut Vec<u32>) {
+    debug_assert!(v.pop().is_none());
+}

@@ -1,0 +1,32 @@
+//@ path: crates/milp/src/lu.rs
+// Fixture: bare indexing in hot-file loops, and both allow shapes.
+
+fn flagged(v: &[f64], p: &[usize]) {
+    for i in 0..p.len() {
+        consume(v[p[i]]); //~ hot-path-index //~ hot-path-index
+    }
+    let mut k = 0;
+    while k < v.len() {
+        consume(v[k]); //~ hot-path-index
+        k += 1;
+    }
+}
+
+// lint:allow(hot-path-index): fixture — indices bounded by construction
+fn scoped_allow_is_honored(v: &[f64]) {
+    loop {
+        consume(v[0]);
+    }
+}
+
+fn outside_a_loop_is_fine(v: &[f64]) -> f64 {
+    v[0] + v[1]
+}
+
+fn iterators_are_fine(v: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for x in v.iter() {
+        s += x;
+    }
+    s
+}

@@ -1,0 +1,33 @@
+//@ path: crates/milp/src/presolve.rs
+// Fixture: inline epsilon literals vs named constants.
+
+const LOCAL_EPS: f64 = 1e-9; // const initializers are exempt
+static TABLE: [f64; 2] = [1e-7, 1e-12]; // statics too
+
+fn flagged(x: f64) -> bool {
+    x.abs() < 1e-9 //~ tolerance-literal
+}
+
+fn double(x: f64) -> bool {
+    x > 1e-6 && x < 2.5e-4 //~ tolerance-literal //~ tolerance-literal
+}
+
+fn named_is_fine(x: f64) -> bool {
+    x.abs() < LOCAL_EPS && x < TABLE[0]
+}
+
+fn positive_exponents_are_fine(x: f64) -> bool {
+    x < 1e6 && x < 1.5e3
+}
+
+// lint:allow(tolerance-literal): fixture — locally derived scale factor
+fn allowed(x: f64) -> bool {
+    x < 1e-11
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_literals_are_exempt(x: f64) -> bool {
+        x < 1e-13
+    }
+}

@@ -1,0 +1,134 @@
+//! Golden tests: every fixture under `tests/fixtures/` declares the
+//! exact `(line, lint)` set the engine must produce for it.
+//!
+//! Fixture format:
+//!
+//! * line 1: `//@ path: <repo-relative path>` — the path the engine is
+//!   told it is scanning (lint scopes key off it);
+//! * a trailing `//~ <lint-name>` marker on every line that must yield
+//!   a finding, repeated once per expected finding on that line.
+//!
+//! The comparison is exact in both directions: a missing finding and an
+//! unexpected finding both fail, so any drift in lint behavior has to
+//! be acknowledged by editing the fixture.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use xtask::lints;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn expected_markers(src: &str) -> BTreeMap<(usize, String), usize> {
+    let mut expected = BTreeMap::new();
+    for (i, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("//~") {
+            rest = &rest[at + 3..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                .collect();
+            assert!(!name.is_empty(), "malformed //~ marker on line {}", i + 1);
+            *expected.entry((i + 1, name)).or_insert(0) += 1;
+        }
+    }
+    expected
+}
+
+#[test]
+fn fixtures_produce_exactly_their_marked_findings() {
+    let dir = fixture_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/fixtures exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no fixtures found in {}",
+        dir.display()
+    );
+
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        let first = src.lines().next().unwrap_or("");
+        let repo_rel = first
+            .strip_prefix("//@ path:")
+            .unwrap_or_else(|| panic!("{}: first line must be `//@ path: …`", path.display()))
+            .trim();
+
+        let expected = expected_markers(&src);
+        let (findings, _warnings) = lints::scan_file(repo_rel, &src);
+        let mut actual: BTreeMap<(usize, String), usize> = BTreeMap::new();
+        for f in &findings {
+            *actual.entry((f.line, f.lint.to_string())).or_insert(0) += 1;
+        }
+
+        assert_eq!(
+            actual,
+            expected,
+            "\nfixture {} (scanned as {repo_rel}) diverged.\n  engine produced: {:?}\n  markers expect:  {:?}\n",
+            path.display(),
+            actual,
+            expected,
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "expected at least five fixtures, ran {checked}"
+    );
+}
+
+#[test]
+fn findings_carry_spans_excerpts_and_suggestions() {
+    let dir = fixture_dir();
+    for entry in std::fs::read_dir(&dir).expect("fixtures").flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable");
+        let repo_rel = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path:"))
+            .expect("header")
+            .trim()
+            .to_string();
+        let raw_lines: Vec<&str> = src.lines().collect();
+        for f in lints::scan_file(&repo_rel, &src).0 {
+            assert!(f.line >= 1 && f.line <= raw_lines.len(), "line in range");
+            assert!(f.col >= 1, "columns are 1-based");
+            assert!(f.len >= 1, "spans are non-empty");
+            assert_eq!(f.excerpt, raw_lines[f.line - 1].trim(), "excerpt matches");
+            assert!(!f.suggestion.is_empty(), "every lint suggests a rewrite");
+            assert!(
+                f.col + f.len - 1 <= raw_lines[f.line - 1].chars().count() + 1,
+                "span stays inside its line: {f:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unjustified_syntax_allows_warn_in_fixtures_too() {
+    let src = "\
+// lint:allow(hot-path-index)
+fn f(v: &[f64]) {
+    loop {
+        let _ = v[0];
+    }
+}
+";
+    let (findings, warnings) = lints::scan_file("crates/milp/src/lu.rs", src);
+    assert_eq!(findings.len(), 1, "allow without justification is inert");
+    assert_eq!(warnings.len(), 1);
+}
